@@ -1,0 +1,97 @@
+//! Ablations for the design choices called out in DESIGN.md §5:
+//!
+//! * k-LSM relaxation sweep k ∈ {16, 128, 256, 4096} — the paper notes
+//!   k = 16 "closely mimics the Lindén and Jonsson priority queue".
+//! * MultiQueue c ∈ {1, 2, 4, 8} (the paper fixes c = 4).
+//! * The k-LSM's standalone components (DLSM, SLSM) against the
+//!   composition.
+
+mod common;
+
+use harness::{experiments, QueueSpec};
+use pq_bench::throughput_duration;
+
+fn main() {
+    let mut c = common::criterion_config();
+    let exp = experiments::by_id("fig4a").expect("known experiment");
+
+    // Relaxation sweep, including the k=16 ≈ linden claim.
+    let mut group = c.benchmark_group("ablation/klsm_k_sweep");
+    for spec in [
+        QueueSpec::Klsm(16),
+        QueueSpec::Klsm(128),
+        QueueSpec::Klsm(256),
+        QueueSpec::Klsm(4096),
+        QueueSpec::Linden, // reference point for k=16
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xA1)
+            })
+        });
+    }
+    group.finish();
+
+    // MultiQueue c sweep.
+    let mut group = c.benchmark_group("ablation/multiqueue_c_sweep");
+    for c_param in [1usize, 2, 4, 8] {
+        let spec = QueueSpec::MultiQueue(c_param);
+        group.bench_function(format!("c{c_param}"), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xA2)
+            })
+        });
+    }
+    group.finish();
+
+    // Component decomposition: DLSM-only, SLSM-only, composed k-LSM.
+    let mut group = c.benchmark_group("ablation/klsm_components");
+    for spec in [
+        QueueSpec::Dlsm,
+        QueueSpec::Slsm(256),
+        QueueSpec::Klsm(256),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xA3)
+            })
+        });
+    }
+    group.finish();
+
+    // Substrate ablation: binary heap vs pairing heap under the same
+    // lock disciplines (DESIGN.md §5).
+    let mut group = c.benchmark_group("ablation/substrates");
+    for spec in [
+        QueueSpec::GlobalLock,
+        QueueSpec::GlobalLockPairing,
+        QueueSpec::MultiQueue(4),
+        QueueSpec::MultiQueuePairing(4),
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xA5)
+            })
+        });
+    }
+    group.finish();
+
+    // Appendix-D survey queues against the paper's strict competitors.
+    let mut group = c.benchmark_group("ablation/survey_queues");
+    for spec in [
+        QueueSpec::Hunt,
+        QueueSpec::Mound,
+        QueueSpec::Cbpq,
+        QueueSpec::Linden,
+        QueueSpec::GlobalLock,
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xA4)
+            })
+        });
+    }
+    group.finish();
+
+    c.final_summary();
+}

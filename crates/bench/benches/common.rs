@@ -1,0 +1,24 @@
+//! Shared Criterion tuning for the throughput benches. Each sample is a
+//! full prefilled multi-threaded run, so samples are few and windows
+//! short; absolute numbers come from the `figures` binary, Criterion
+//! tracks regressions.
+#![allow(dead_code)] // each bench target uses a subset of these helpers
+
+use std::time::Duration;
+
+pub fn criterion_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args()
+}
+
+/// Prefill used by the bench targets (small enough for quick samples,
+/// large enough that the structures have realistic depth).
+pub const PREFILL: usize = 20_000;
+
+/// Thread count for the bench targets (the host is time-sliced; 2
+/// threads exercise the concurrent paths without drowning in scheduler
+/// noise).
+pub const THREADS: usize = 2;

@@ -1,0 +1,47 @@
+//! Tables 1/2/5: the rank-error (quality) benchmark.
+//!
+//! Criterion measures the cost of the full quality pipeline (logged run +
+//! linearized replay); the measured mean ranks themselves — the table
+//! cells — are printed to stderr alongside, and are regenerated in table
+//! form by the `quality` binary.
+
+mod common;
+
+use criterion::Criterion;
+use harness::{experiments, run_quality, QueueSpec};
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+fn bench_cell(c: &mut Criterion, exp_id: &str, threads: usize) {
+    let exp = experiments::by_id(exp_id).expect("known experiment");
+    let mut group = c.benchmark_group(format!("rank_error/{exp_id}/{threads}t"));
+    group.sample_size(10);
+    for spec in QueueSpec::quality_set() {
+        let cfg = BenchConfig {
+            threads,
+            workload: exp.workload,
+            key_dist: exp.key_dist,
+            prefill: common::PREFILL,
+            stop: StopCondition::OpsPerThread(5_000),
+            reps: 1,
+            seed: 0xF5,
+        };
+        // Report the table cell once per series.
+        let r = run_quality(spec, &cfg);
+        eprintln!(
+            "[table:{exp_id}] {} @ {threads} threads: mean rank {:.1} (sd {:.1})",
+            r.queue, r.rank.mean, r.rank.sd
+        );
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| std::hint::black_box(run_quality(spec, &cfg).rank.mean))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion_config();
+    bench_cell(&mut c, "table2a", 2); // Table 1 / 2a
+    bench_cell(&mut c, "table5a", 2); // Table 5a (alternating)
+    c.final_summary();
+}

@@ -1,0 +1,31 @@
+//! Figures 8/9: alternating workload (strict insert/delete alternation
+//! per thread) with uniform, ascending and descending keys, plus the
+//! hold-model extension.
+
+mod common;
+
+use criterion::Criterion;
+use harness::{experiments, QueueSpec};
+use pq_bench::throughput_duration;
+
+fn bench_cell(c: &mut Criterion, exp_id: &str) {
+    let exp = experiments::by_id(exp_id).expect("known experiment");
+    let mut group = c.benchmark_group(exp_id);
+    for spec in QueueSpec::paper_set() {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xF4)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion_config();
+    bench_cell(&mut c, "fig8a"); // alternating, uniform 32-bit keys
+    bench_cell(&mut c, "fig8b"); // alternating, ascending keys
+    bench_cell(&mut c, "fig8c"); // alternating, descending keys
+    bench_cell(&mut c, "hold"); // hold model (Jones 1986)
+    c.final_summary();
+}

@@ -1,0 +1,29 @@
+//! Figures 4b and 4c: uniform workload with ascending and descending
+//! key distributions — the configurations that collapse (4b) or boost
+//! (4c) the k-LSM in the paper.
+
+mod common;
+
+use criterion::Criterion;
+use harness::{experiments, QueueSpec};
+use pq_bench::throughput_duration;
+
+fn bench_cell(c: &mut Criterion, exp_id: &str) {
+    let exp = experiments::by_id(exp_id).expect("known experiment");
+    let mut group = c.benchmark_group(exp_id);
+    for spec in QueueSpec::paper_set() {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xF2)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion_config();
+    bench_cell(&mut c, "fig4b"); // ascending keys
+    bench_cell(&mut c, "fig4c"); // descending keys
+    c.final_summary();
+}

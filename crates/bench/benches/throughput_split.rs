@@ -1,0 +1,31 @@
+//! Figure 2 / 4d–4f: split workload (half the threads insert, half
+//! delete) with uniform, ascending and descending keys — the
+//! configuration under which the paper's k-LSM throughput collapses and
+//! the Lindén queue's cache locality shines.
+
+mod common;
+
+use criterion::Criterion;
+use harness::{experiments, QueueSpec};
+use pq_bench::throughput_duration;
+
+fn bench_cell(c: &mut Criterion, exp_id: &str) {
+    let exp = experiments::by_id(exp_id).expect("known experiment");
+    let mut group = c.benchmark_group(exp_id);
+    for spec in QueueSpec::paper_set() {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xF3)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion_config();
+    bench_cell(&mut c, "fig4d"); // split, uniform 32-bit keys
+    bench_cell(&mut c, "fig4e"); // Figure 2: split, ascending keys
+    bench_cell(&mut c, "fig4f"); // split, descending keys
+    c.final_summary();
+}

@@ -1,0 +1,29 @@
+//! Figure 1 / 4a, 4g, 4h: uniform workload with uniform 32-, 8- and
+//! 16-bit keys, one Criterion group per figure, one series per queue.
+
+mod common;
+
+use criterion::Criterion;
+use harness::{experiments, QueueSpec};
+use pq_bench::throughput_duration;
+
+fn bench_cell(c: &mut Criterion, exp_id: &str) {
+    let exp = experiments::by_id(exp_id).expect("known experiment");
+    let mut group = c.benchmark_group(exp_id);
+    for spec in QueueSpec::paper_set() {
+        group.bench_function(spec.name(), |b| {
+            b.iter_custom(|iters| {
+                throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, 0xF1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion_config();
+    bench_cell(&mut c, "fig4a"); // Figure 1: uniform workload, 32-bit keys
+    bench_cell(&mut c, "fig4g"); // Figure 3: 8-bit restricted keys
+    bench_cell(&mut c, "fig4h"); // 16-bit keys
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Helpers for the Criterion benches: adapt the harness' fixed-ops mode
+//! to `iter_custom`'s (iterations → Duration) contract.
+
+use std::time::Duration;
+
+use harness::{run_throughput, Experiment, QueueSpec};
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+/// Run `total_ops` mixed operations (split over `threads` workers) of the
+/// experiment's workload on a freshly prefilled queue, returning the wall
+/// time attributable to the operations — the quantity Criterion plots.
+pub fn throughput_duration(
+    spec: QueueSpec,
+    exp: &Experiment,
+    threads: usize,
+    prefill: usize,
+    total_ops: u64,
+    seed: u64,
+) -> Duration {
+    let cfg = BenchConfig {
+        threads,
+        workload: exp.workload,
+        key_dist: exp.key_dist,
+        prefill,
+        stop: StopCondition::OpsPerThread((total_ops / threads as u64).max(1)),
+        reps: 1,
+        seed,
+    };
+    let r = run_throughput(spec, &cfg);
+    let ops_per_sec = r.summary.mean.max(1.0);
+    Duration::from_secs_f64(total_ops as f64 / ops_per_sec)
+}

@@ -1,0 +1,186 @@
+//! Regenerate the paper's throughput figures.
+//!
+//! Each figure is a (workload × key distribution) cell swept over thread
+//! counts with one series per queue. Defaults are scaled so `--all`
+//! completes in minutes on a laptop; pass `--prefill 1000000
+//! --duration-ms 10000 --reps 10 --threads 1,2,...` for paper-scale runs.
+//!
+//! ```text
+//! cargo run -p pq-bench --release --bin figures -- --experiment fig4a
+//! cargo run -p pq-bench --release --bin figures -- --all
+//! ```
+
+use std::time::Duration;
+
+use harness::{experiments, run_throughput, QueueSpec, ThroughputResult};
+use pq_bench::{format_throughput_table, render_chart, render_csv, Series};
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+struct Args {
+    experiments: Vec<experiments::Experiment>,
+    threads: Vec<usize>,
+    queues: Vec<QueueSpec>,
+    prefill: usize,
+    duration_ms: u64,
+    reps: usize,
+    seed: u64,
+    chart: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments_sel: Option<Vec<experiments::Experiment>> = None;
+    let mut threads = vec![1, 2, 4, 8];
+    let mut queues = QueueSpec::paper_set();
+    let mut prefill = 100_000usize;
+    let mut duration_ms = 150u64;
+    let mut reps = 3usize;
+    let mut seed = 0x5EEDu64;
+    let mut chart = false;
+    let mut csv = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--experiment" => {
+                let id = take(&mut i)?;
+                let e = experiments::by_id(&id).ok_or(format!("unknown experiment '{id}'"))?;
+                experiments_sel.get_or_insert_with(Vec::new).push(e);
+            }
+            "--all" => experiments_sel = Some(experiments::all()),
+            "--threads" => {
+                threads = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad thread count '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--queues" => {
+                queues = take(&mut i)?
+                    .split(',')
+                    .map(|s| QueueSpec::parse(s.trim()).ok_or(format!("unknown queue '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--prefill" => prefill = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-ms" => duration_ms = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--reps" => reps = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--chart" => chart = true,
+            "--csv" => csv = true,
+            // Thread grids of the paper's four machines (physical cores,
+            // then into hyperthreading where the machine has it).
+            "--machine" => {
+                threads = match take(&mut i)?.as_str() {
+                    "mars" => vec![1, 2, 4, 8, 16],           // 8 cores, 2-way HT
+                    "saturn" => vec![1, 2, 4, 8, 16, 32, 48], // 48 cores, no HT
+                    "ceres" => vec![1, 2, 4, 8, 16, 32, 64, 128], // 64 cores, 8-way HT
+                    "pluto" => vec![1, 2, 4, 8, 16, 32, 61, 122], // 61 cores, 4-way HT
+                    other => return Err(format!("unknown machine '{other}'")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--experiment <id>]... [--all] [--threads 1,2,4,8] \
+                     [--queues klsm128,linden,...] [--prefill N] [--duration-ms N] \
+                     [--reps N] [--seed N] [--chart] [--csv]\nexperiments: {}",
+                    experiments::all()
+                        .iter()
+                        .map(|e| e.id)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        experiments: experiments_sel.unwrap_or_else(|| vec![experiments::by_id("fig4a").unwrap()]),
+        threads,
+        queues,
+        prefill,
+        duration_ms,
+        reps,
+        seed,
+        chart,
+        csv,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    for exp in &args.experiments {
+        let mut rows: Vec<Vec<ThroughputResult>> = Vec::new();
+        for &spec in &args.queues {
+            let mut row = Vec::new();
+            for &t in &args.threads {
+                let cfg = BenchConfig {
+                    threads: t,
+                    workload: exp.workload,
+                    key_dist: exp.key_dist,
+                    prefill: args.prefill,
+                    stop: StopCondition::Duration(Duration::from_millis(args.duration_ms)),
+                    reps: args.reps,
+                    seed: args.seed,
+                };
+                let r = run_throughput(spec, &cfg);
+                eprintln!(
+                    "  [{}] {} @ {} threads: {:.3} MOps/s",
+                    exp.id,
+                    r.queue,
+                    t,
+                    r.mops()
+                );
+                row.push(r);
+            }
+            rows.push(row);
+        }
+        let title = format!(
+            "{} — {} workload, {} keys ({})",
+            exp.id,
+            exp.workload.name(),
+            exp.key_dist.name(),
+            exp.artifacts
+        );
+        if args.csv {
+            let series: Vec<(String, Vec<(f64, f64)>)> = rows
+                .iter()
+                .map(|row| {
+                    (
+                        row.first().map(|r| r.queue.clone()).unwrap_or_default(),
+                        row.iter()
+                            .map(|r| (r.mops(), r.summary.ci95 / 1e6))
+                            .collect(),
+                    )
+                })
+                .collect();
+            print!("{}", render_csv(exp.id, &args.threads, &series));
+            continue;
+        }
+        println!("\n{}", format_throughput_table(&title, &args.threads, &rows));
+        if args.chart {
+            let series: Vec<Series> = rows
+                .iter()
+                .map(|row| Series {
+                    name: row.first().map(|r| r.queue.clone()).unwrap_or_default(),
+                    ys: row.iter().map(ThroughputResult::mops).collect(),
+                })
+                .collect();
+            println!("{}", render_chart(&title, &args.threads, &series, 16));
+        }
+    }
+}

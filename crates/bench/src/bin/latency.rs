@@ -1,0 +1,93 @@
+//! Per-operation latency measurement (appendix F's throughput/latency
+//! switch): prescribe an operation count per thread and report insert
+//! and delete latency percentiles for every queue.
+//!
+//! ```text
+//! cargo run -p pq-bench --release --bin latency -- --threads 4
+//! ```
+
+use harness::{experiments, run_latency, QueueSpec};
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+fn main() {
+    let mut threads = 2usize;
+    let mut ops_per_thread = 20_000u64;
+    let mut prefill = 100_000usize;
+    let mut exp_id = "fig4a".to_owned();
+    let mut queues = QueueSpec::paper_set();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value after {}", argv[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--threads" => threads = take(&mut i).parse().expect("thread count"),
+            "--ops-per-thread" => ops_per_thread = take(&mut i).parse().expect("op count"),
+            "--prefill" => prefill = take(&mut i).parse().expect("prefill"),
+            "--experiment" => exp_id = take(&mut i),
+            "--queues" => {
+                queues = take(&mut i)
+                    .split(',')
+                    .map(|s| QueueSpec::parse(s.trim()).expect("queue name"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: latency [--threads N] [--ops-per-thread N] [--prefill N] \
+                     [--experiment <id>] [--queues a,b,c]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let exp = experiments::by_id(&exp_id).expect("known experiment");
+    println!(
+        "# per-op latency [ns] — {} workload, {} keys, {} threads, {} ops/thread\n",
+        exp.workload.name(),
+        exp.key_dist.name(),
+        threads,
+        ops_per_thread
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>10} {:>12}",
+        "queue", "ins p50", "ins p90", "ins p99", "ins max", "del p50", "del p90", "del p99",
+        "del max"
+    );
+    for spec in queues {
+        let cfg = BenchConfig {
+            threads,
+            workload: exp.workload,
+            key_dist: exp.key_dist,
+            prefill,
+            stop: StopCondition::OpsPerThread(ops_per_thread),
+            reps: 1,
+            seed: 0x1A7,
+        };
+        let r = run_latency(spec, &cfg);
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>10} {:>12}",
+            r.queue,
+            r.insert.p50,
+            r.insert.p90,
+            r.insert.p99,
+            r.insert.max,
+            r.delete.p50,
+            r.delete.p90,
+            r.delete.p99,
+            r.delete.max
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared helpers for the figure/table regeneration binaries and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod bench_util;
+pub mod plot;
+pub mod report;
+
+pub use bench_util::throughput_duration;
+pub use plot::{render_chart, render_csv, Series};
+pub use report::{format_quality_table, format_throughput_table};

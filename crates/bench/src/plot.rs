@@ -1,0 +1,150 @@
+//! Minimal ASCII line-chart renderer for the `figures` binary: one
+//! series per queue, thread count on the x-axis, MOps/s on the y-axis —
+//! the shape of the paper's throughput figures, in a terminal.
+
+/// A named data series: y-values aligned with the shared x-axis.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One y value per x position (MOps/s).
+    pub ys: Vec<f64>,
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '~', '$'];
+
+/// Render an ASCII chart of `series` over `xs` (e.g. thread counts).
+/// `height` is the number of plot rows (excluding axes).
+pub fn render_chart(title: &str, xs: &[usize], series: &[Series], height: usize) -> String {
+    let height = height.max(2);
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.ys.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let width_per_x = 8usize;
+    let plot_width = xs.len() * width_per_x;
+    let mut rows = vec![vec![' '; plot_width]; height];
+
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, &y) in s.ys.iter().enumerate().take(xs.len()) {
+            let col = xi * width_per_x + width_per_x / 2;
+            let frac = (y / y_max).clamp(0.0, 1.0);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            // Collisions: keep the first glyph, mark overlaps.
+            let cell = &mut rows[row][col];
+            *cell = if *cell == ' ' { glyph } else { '?' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (i, row) in rows.iter().enumerate() {
+        let y_label = y_max * (height - 1 - i) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_label:>8.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(plot_width)));
+    out.push_str(&format!("{:>9}", ""));
+    for &x in xs {
+        out.push_str(&format!("{x:^width$}", width = width_per_x));
+    }
+    out.push_str("  [threads]\n  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}  ", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render results as CSV: `experiment,queue,threads,mops_mean,mops_ci95`.
+pub fn render_csv(experiment: &str, xs: &[usize], series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::from("experiment,queue,threads,mops_mean,mops_ci95\n");
+    for (name, points) in series {
+        for (xi, (mean, ci)) in points.iter().enumerate().take(xs.len()) {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6}\n",
+                experiment, name, xs[xi], mean, ci
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_title_axes_and_legend() {
+        let s = vec![
+            Series {
+                name: "klsm128".into(),
+                ys: vec![1.0, 2.0, 4.0],
+            },
+            Series {
+                name: "linden".into(),
+                ys: vec![2.0, 1.5, 1.0],
+            },
+        ];
+        let chart = render_chart("fig4a", &[1, 2, 4], &s, 10);
+        assert!(chart.contains("fig4a"));
+        assert!(chart.contains("* klsm128"));
+        assert!(chart.contains("o linden"));
+        assert!(chart.contains("[threads]"));
+        // Max y label equals the maximum value.
+        assert!(chart.contains("4.00"));
+    }
+
+    #[test]
+    fn top_row_holds_the_maximum() {
+        let s = vec![Series {
+            name: "q".into(),
+            ys: vec![0.0, 10.0],
+        }];
+        let chart = render_chart("t", &[1, 2], &s, 5);
+        let top_plot_row = chart.lines().nth(1).unwrap();
+        assert!(
+            top_plot_row.contains('*'),
+            "maximum must land on the top row: {chart}"
+        );
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let chart = render_chart("empty", &[1, 2, 4, 8], &[], 6);
+        assert!(chart.contains("empty"));
+    }
+
+    #[test]
+    fn overlapping_points_marked() {
+        let s = vec![
+            Series {
+                name: "a".into(),
+                ys: vec![5.0],
+            },
+            Series {
+                name: "b".into(),
+                ys: vec![5.0],
+            },
+        ];
+        let chart = render_chart("t", &[1], &s, 4);
+        assert!(chart.contains('?'), "overlap marker missing: {chart}");
+    }
+
+    #[test]
+    fn csv_rows_per_point() {
+        let csv = render_csv(
+            "fig4a",
+            &[1, 2],
+            &[("klsm128".to_owned(), vec![(3.5, 0.1), (4.5, 0.2)])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "fig4a,klsm128,1,3.500000,0.100000");
+        assert_eq!(lines[2], "fig4a,klsm128,2,4.500000,0.200000");
+    }
+}

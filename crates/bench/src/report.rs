@@ -1,0 +1,109 @@
+//! Plain-text table rendering in the layout of the paper's figures
+//! (throughput vs. threads, one series per queue) and tables (rank error
+//! per thread count).
+
+use harness::{QualityResult, ThroughputResult};
+
+/// Render a throughput matrix: rows = queues, columns = thread counts,
+/// cells = MOps/s mean ± 95 % CI. `results[q][t]` pairs with
+/// `threads[t]`.
+pub fn format_throughput_table(
+    title: &str,
+    threads: &[usize],
+    results: &[Vec<ThroughputResult>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:<14}", "queue"));
+    for t in threads {
+        out.push_str(&format!("{:>20}", format!("{t} thr [MOps/s]")));
+    }
+    out.push('\n');
+    for row in results {
+        let name = row.first().map(|r| r.queue.as_str()).unwrap_or("?");
+        out.push_str(&format!("{name:<14}"));
+        for r in row {
+            out.push_str(&format!(
+                "{:>20}",
+                format!("{:.3} ±{:.3}", r.mops(), r.summary.ci95 / 1e6)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a rank-error table: rows = queues, columns = thread counts,
+/// cells = mean rank (standard deviation), matching the layout of the
+/// paper's tables 1/2/5.
+pub fn format_quality_table(
+    title: &str,
+    threads: &[usize],
+    results: &[Vec<QualityResult>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:<14}", "queue"));
+    for t in threads {
+        out.push_str(&format!("{:>24}", format!("{t} thr rank (sd)")));
+    }
+    out.push('\n');
+    for row in results {
+        let name = row.first().map(|r| r.queue.as_str()).unwrap_or("?");
+        out.push_str(&format!("{name:<14}"));
+        for r in row {
+            out.push_str(&format!(
+                "{:>24}",
+                format!("{:.1} ({:.1})", r.rank.mean, r.rank.sd)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::Summary;
+
+    fn tp(queue: &str, mean: f64) -> ThroughputResult {
+        ThroughputResult {
+            queue: queue.to_owned(),
+            threads: 2,
+            per_rep_ops_per_sec: vec![mean],
+            summary: Summary::of(&[mean]),
+            per_thread_ops: vec![mean as u64 / 2; 2],
+        }
+    }
+
+    #[test]
+    fn throughput_table_contains_queues_and_values() {
+        let table = format_throughput_table(
+            "fig4a",
+            &[1, 2],
+            &[vec![tp("klsm128", 2e6), tp("klsm128", 3e6)]],
+        );
+        assert!(table.contains("fig4a"));
+        assert!(table.contains("klsm128"));
+        assert!(table.contains("2.000"));
+        assert!(table.contains("3.000"));
+    }
+
+    #[test]
+    fn quality_table_contains_rank() {
+        let q = QualityResult {
+            queue: "multiqueue".into(),
+            threads: 4,
+            rank: Summary::of_u64(&[10, 20, 30]),
+            p50: 20,
+            p99: 30,
+            max: 30,
+            delay: Summary::of_u64(&[1, 2, 3]),
+            deletions: 3,
+        };
+        let table = format_quality_table("table2a", &[4], &[vec![q]]);
+        assert!(table.contains("multiqueue"));
+        assert!(table.contains("20.0"));
+    }
+}

@@ -1,0 +1,494 @@
+//! Chunk internals: FAA-cursor deletion, slot-based insertion, Treiber
+//! buffer, and the freeze/collect snapshot protocol.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+use pq_traits::{Item, Key};
+
+/// Slot states. Transitions are monotone: EMPTY → COMMITTED (writer) or
+/// EMPTY → FROZEN (collector); a committed slot is never overwritten.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_COMMITTED: u8 = 1;
+const SLOT_FROZEN: u8 = 2;
+
+struct Slot {
+    state: AtomicU8,
+    cell: UnsafeCell<Item>,
+}
+
+// SAFETY: the payload cell is written exactly once, by the unique thread
+// whose FAA claimed the slot index, before the COMMITTED release store;
+// it is read only after observing COMMITTED with acquire.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(SLOT_EMPTY),
+            cell: UnsafeCell::new(Item::new(0, 0)),
+        }
+    }
+
+    fn committed(item: Item) -> Self {
+        Self {
+            state: AtomicU8::new(SLOT_COMMITTED),
+            cell: UnsafeCell::new(item),
+        }
+    }
+}
+
+/// One node of the head chunk's insertion buffer (Treiber stack).
+pub struct BufferNode {
+    item: Item,
+    taken: AtomicBool,
+    next: Atomic<BufferNode>,
+}
+
+/// Result of a deletion attempt on the head chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteAttempt {
+    /// Claimed this item.
+    Took(Item),
+    /// Cursor and buffer are exhausted (or the chunk is frozen); the
+    /// caller should rebuild the head or report empty.
+    Exhausted,
+}
+
+/// Result of a slot insertion into an interior chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Item committed.
+    Done,
+    /// All slots claimed; the chunk should be split.
+    Full,
+    /// The chunk is frozen by a concurrent restructure; retry on the
+    /// fresh chunk list.
+    Frozen,
+}
+
+/// A chunk: either the head (sorted array + FAA cursor + buffer) or an
+/// interior insert chunk (slot array). Both kinds share the freeze
+/// protocol.
+pub struct Chunk {
+    /// Inclusive upper key bound this chunk is responsible for.
+    max_key: Key,
+    /// Head part: immutable sorted items, consumed by `cursor`.
+    sorted: Box<[Item]>,
+    cursor: AtomicUsize,
+    /// Head part: overflow buffer for inserts into the head's range.
+    /// The tag bit on the stack head seals the buffer.
+    buffer: Atomic<BufferNode>,
+    /// Insert part: slot array claimed via `count`.
+    slots: Box<[Slot]>,
+    count: AtomicUsize,
+    /// Freeze state: flag flips first (stops fast paths), then the
+    /// snapshot is computed exactly once under the `OnceLock`.
+    frozen: AtomicBool,
+    snapshot: OnceLock<Vec<Item>>,
+}
+
+// SAFETY: interior mutability is via atomics, epoch-managed pointers and
+// the Slot protocol above.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+const SEALED: usize = 1;
+
+impl Chunk {
+    /// Head chunk over an already-sorted item vector.
+    pub fn new_head(sorted: Vec<Item>, max_key: Key) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            max_key,
+            sorted: sorted.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+            buffer: Atomic::null(),
+            slots: Box::new([]),
+            count: AtomicUsize::new(0),
+            frozen: AtomicBool::new(false),
+            snapshot: OnceLock::new(),
+        }
+    }
+
+    /// Interior insert chunk pre-seeded with `items`, with room for
+    /// `capacity` total.
+    pub fn new_insert(items: Vec<Item>, max_key: Key, capacity: usize) -> Self {
+        let capacity = capacity.max(items.len());
+        let mut slots: Vec<Slot> = Vec::with_capacity(capacity);
+        let n = items.len();
+        for item in items {
+            slots.push(Slot::committed(item));
+        }
+        slots.resize_with(capacity, Slot::new);
+        Self {
+            max_key,
+            sorted: Box::new([]),
+            cursor: AtomicUsize::new(0),
+            buffer: Atomic::null(),
+            slots: slots.into_boxed_slice(),
+            count: AtomicUsize::new(n),
+            frozen: AtomicBool::new(false),
+            snapshot: OnceLock::new(),
+        }
+    }
+
+    /// Upper key bound.
+    pub fn max_key(&self) -> Key {
+        self.max_key
+    }
+
+    /// `true` once the chunk is sealed for restructuring.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// `true` if the head chunk has nothing left to serve (cursor done
+    /// and no untaken buffered item). Racy; used as a rebuild hint.
+    pub fn is_exhausted(&self) -> bool {
+        if self.cursor.load(Ordering::Acquire) < self.sorted.len() {
+            return false;
+        }
+        let guard = epoch::pin();
+        self.buffer_min(&guard).is_none()
+    }
+
+    /// Push into the head buffer. Returns `false` if the buffer is
+    /// sealed (chunk frozen).
+    pub fn buffer_push(&self, item: Item) -> bool {
+        let guard = epoch::pin();
+        let mut node = Owned::new(BufferNode {
+            item,
+            taken: AtomicBool::new(false),
+            next: Atomic::null(),
+        });
+        loop {
+            let head = self.buffer.load(Ordering::Acquire, &guard);
+            if head.tag() == SEALED {
+                return false;
+            }
+            node.next.store(head, Ordering::Relaxed);
+            match self.buffer.compare_exchange(
+                head,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(_) => return true,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Smallest untaken buffered item, if any, with its node.
+    fn buffer_min<'g>(&self, guard: &'g epoch::Guard) -> Option<(&'g BufferNode, Item)> {
+        let mut best: Option<(&'g BufferNode, Item)> = None;
+        let mut cur = self.buffer.load(Ordering::Acquire, guard).with_tag(0);
+        // SAFETY: buffer nodes are freed only with the chunk (on list
+        // retirement), which the guard protects.
+        while let Some(node) = unsafe { cur.as_ref() } {
+            if !node.taken.load(Ordering::Acquire)
+                && best.is_none_or(|(_, b)| node.item < b)
+            {
+                best = Some((node, node.item));
+            }
+            cur = node.next.load(Ordering::Acquire, guard).with_tag(0);
+        }
+        best
+    }
+
+    /// FAA/buffer deletion protocol (head chunk only).
+    pub fn delete_attempt(&self) -> DeleteAttempt {
+        let guard = epoch::pin();
+        loop {
+            if self.is_frozen() {
+                return DeleteAttempt::Exhausted;
+            }
+            let idx_peek = self.cursor.load(Ordering::Acquire);
+            let cursor_item = self.sorted.get(idx_peek).copied();
+            let buffered = self.buffer_min(&guard);
+            match (cursor_item, buffered) {
+                (None, None) => return DeleteAttempt::Exhausted,
+                (Some(_), None) => {
+                    let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
+                    if idx >= self.sorted.len() {
+                        return DeleteAttempt::Exhausted;
+                    }
+                    return DeleteAttempt::Took(self.sorted[idx]);
+                }
+                (None, Some((node, item))) => {
+                    if node
+                        .taken
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return DeleteAttempt::Took(item);
+                    }
+                    // Lost the node; re-evaluate.
+                }
+                (Some(c), Some((node, b))) => {
+                    if b < c {
+                        if node
+                            .taken
+                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            return DeleteAttempt::Took(b);
+                        }
+                    } else {
+                        let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
+                        if idx >= self.sorted.len() {
+                            return DeleteAttempt::Exhausted;
+                        }
+                        return DeleteAttempt::Took(self.sorted[idx]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// O(1) slot insertion (interior chunks only).
+    pub fn slot_insert(&self, item: Item) -> InsertOutcome {
+        if self.is_frozen() {
+            return InsertOutcome::Frozen;
+        }
+        let idx = self.count.fetch_add(1, Ordering::AcqRel);
+        if idx >= self.slots.len() {
+            return InsertOutcome::Full;
+        }
+        let slot = &self.slots[idx];
+        // SAFETY: the FAA above makes us the unique claimant of `idx`;
+        // the payload is written before the COMMITTED release store.
+        unsafe { *slot.cell.get() = item };
+        match slot.state.compare_exchange(
+            SLOT_EMPTY,
+            SLOT_COMMITTED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => InsertOutcome::Done,
+            // A collector froze this slot between the FAA and our
+            // commit: the item is NOT in the chunk.
+            Err(_) => InsertOutcome::Frozen,
+        }
+    }
+
+    /// Seal the chunk and compute its item snapshot exactly once.
+    ///
+    /// Blocking (later callers wait for the first), idempotent: every
+    /// caller receives the same snapshot, so a rebuild whose list CAS
+    /// failed can simply retry. The snapshot contains precisely the
+    /// items no concurrent operation returned or will return:
+    /// cursor leftovers are claimed by swinging the cursor past the
+    /// end, buffer items by winning their `taken` flags, slot items by
+    /// freezing EMPTY slots so in-flight commits fail.
+    pub fn freeze_and_collect(&self) -> Vec<Item> {
+        self.frozen.store(true, Ordering::Release);
+        self.snapshot
+            .get_or_init(|| {
+                let mut pool = Vec::new();
+                // Claim the remaining cursor range in one step.
+                let claimed_from = self
+                    .cursor
+                    .swap(self.sorted.len(), Ordering::AcqRel)
+                    .min(self.sorted.len());
+                pool.extend_from_slice(&self.sorted[claimed_from..]);
+                // Seal the buffer, then claim every untaken node.
+                let guard = epoch::pin();
+                loop {
+                    let head = self.buffer.load(Ordering::Acquire, &guard);
+                    if head.tag() == SEALED {
+                        break;
+                    }
+                    if self
+                        .buffer
+                        .compare_exchange(
+                            head,
+                            head.with_tag(SEALED),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            &guard,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+                let mut cur = self.buffer.load(Ordering::Acquire, &guard).with_tag(0);
+                // SAFETY: nodes freed only with the chunk.
+                while let Some(node) = unsafe { cur.as_ref() } {
+                    if node
+                        .taken
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        pool.push(node.item);
+                    }
+                    cur = node.next.load(Ordering::Acquire, guard_ref(&guard)).with_tag(0);
+                }
+                // Freeze empty slots so in-flight commits fail, collect
+                // committed ones.
+                for slot in self.slots.iter() {
+                    match slot.state.compare_exchange(
+                        SLOT_EMPTY,
+                        SLOT_FROZEN,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {}
+                        Err(state) if state == SLOT_COMMITTED => {
+                            // SAFETY: COMMITTED observed with acquire ⇒
+                            // the writer's payload store is visible.
+                            pool.push(unsafe { *slot.cell.get() });
+                        }
+                        Err(_) => {}
+                    }
+                }
+                pool
+            })
+            .clone()
+    }
+
+    /// Approximate live item count (diagnostics).
+    pub fn len_hint(&self) -> usize {
+        let cursor_left = self
+            .sorted
+            .len()
+            .saturating_sub(self.cursor.load(Ordering::Relaxed));
+        let slot_count = self.count.load(Ordering::Relaxed).min(self.slots.len());
+        cursor_left + slot_count
+    }
+}
+
+#[inline]
+fn guard_ref(g: &epoch::Guard) -> &epoch::Guard {
+    g
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        // SAFETY: &mut self ⇒ quiescent; free the buffer stack.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.buffer.load(Ordering::Relaxed, guard).with_tag(0);
+            while let Some(node) = cur.as_ref() {
+                let next = node.next.load(Ordering::Relaxed, guard).with_tag(0);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+// Keep Shared import used (buffer traversal types).
+#[allow(unused)]
+fn _type_check<'g>(s: Shared<'g, BufferNode>) -> Shared<'g, BufferNode> {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_cursor_serves_in_order() {
+        let items: Vec<Item> = (0..10).map(|k| Item::new(k, k)).collect();
+        let c = Chunk::new_head(items, Key::MAX);
+        for k in 0..10 {
+            assert_eq!(c.delete_attempt(), DeleteAttempt::Took(Item::new(k, k)));
+        }
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Exhausted);
+    }
+
+    #[test]
+    fn buffer_beats_larger_cursor_item() {
+        let c = Chunk::new_head(vec![Item::new(10, 0)], Key::MAX);
+        assert!(c.buffer_push(Item::new(3, 1)));
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Took(Item::new(3, 1)));
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Took(Item::new(10, 0)));
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Exhausted);
+    }
+
+    #[test]
+    fn slot_insert_until_full() {
+        let c = Chunk::new_insert(vec![], 100, 4);
+        for i in 0..4 {
+            assert_eq!(c.slot_insert(Item::new(i, i)), InsertOutcome::Done);
+        }
+        assert_eq!(c.slot_insert(Item::new(9, 9)), InsertOutcome::Full);
+    }
+
+    #[test]
+    fn freeze_collects_everything_once() {
+        let c = Chunk::new_head(vec![Item::new(5, 0), Item::new(6, 1)], Key::MAX);
+        assert!(c.buffer_push(Item::new(2, 2)));
+        // Consume one cursor item first.
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Took(Item::new(2, 2)));
+        let snap1 = c.freeze_and_collect();
+        let snap2 = c.freeze_and_collect();
+        assert_eq!(snap1, snap2, "snapshot must be idempotent");
+        let mut keys: Vec<Key> = snap1.iter().map(|i| i.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![5, 6]);
+        assert_eq!(c.delete_attempt(), DeleteAttempt::Exhausted);
+        assert!(!c.buffer_push(Item::new(1, 9)), "sealed buffer accepts");
+    }
+
+    #[test]
+    fn freeze_fails_inflight_commit() {
+        let c = Chunk::new_insert(vec![], 100, 8);
+        // Claim a slot index by hand: FAA then freeze before commit.
+        let idx = c.count.fetch_add(1, Ordering::AcqRel);
+        let snap = c.freeze_and_collect();
+        assert!(snap.is_empty());
+        // The in-flight writer now fails to commit.
+        let slot = &c.slots[idx];
+        unsafe { *slot.cell.get() = Item::new(1, 1) };
+        assert!(slot
+            .state
+            .compare_exchange(SLOT_EMPTY, SLOT_COMMITTED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err());
+    }
+
+    #[test]
+    fn concurrent_freeze_vs_deletes_no_dup_no_loss() {
+        for _ in 0..50 {
+            let items: Vec<Item> = (0..100).map(|k| Item::new(k, k)).collect();
+            let c = std::sync::Arc::new(Chunk::new_head(items, Key::MAX));
+            for i in 0..20 {
+                c.buffer_push(Item::new(1000 + i, 1000 + i));
+            }
+            let taken = std::sync::Mutex::new(Vec::new());
+            let snapshot = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let c = &c;
+                    let taken = &taken;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let DeleteAttempt::Took(it) = c.delete_attempt() {
+                            mine.push(it);
+                        }
+                        taken.lock().unwrap().extend(mine);
+                    });
+                }
+                let c = &c;
+                let snapshot = &snapshot;
+                s.spawn(move || {
+                    snapshot.lock().unwrap().extend(c.freeze_and_collect());
+                });
+            });
+            let mut all = taken.into_inner().unwrap();
+            all.extend(snapshot.into_inner().unwrap());
+            assert_eq!(all.len(), 120, "lost or duplicated items");
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), 120, "duplicates across freeze/delete");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The benchmarked queue family and a static-dispatch helper.
+//!
+//! The harness runs generic code over `Q: ConcurrentPq`; the
+//! `with_queue!` macro expands one monomorphized arm per queue so no
+//! dynamic dispatch (or GAT-incompatible trait objects) is needed.
+
+/// Identifies a queue configuration to benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueSpec {
+    /// k-LSM with the given relaxation parameter.
+    Klsm(usize),
+    /// Standalone distributed (thread-local) LSM.
+    Dlsm,
+    /// Standalone shared LSM with the given relaxation parameter.
+    Slsm(usize),
+    /// Lindén–Jonsson strict skiplist queue.
+    Linden,
+    /// SprayList.
+    Spray,
+    /// MultiQueue with the given `c` (sub-queues = c·P).
+    MultiQueue(usize),
+    /// Sequential heap behind a global lock.
+    GlobalLock,
+    /// Hunt et al. fine-grained heap.
+    Hunt,
+    /// Liu & Spear mound (lock-based variant).
+    Mound,
+    /// Braginsky-style chunk-based priority queue (FAA deletions).
+    Cbpq,
+    /// GlobalLock over a pairing heap instead of a binary heap
+    /// (substrate ablation).
+    GlobalLockPairing,
+    /// MultiQueue over pairing-heap sub-queues (substrate ablation).
+    MultiQueuePairing(usize),
+}
+
+impl QueueSpec {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            QueueSpec::Klsm(k) => format!("klsm{k}"),
+            QueueSpec::Dlsm => "dlsm".to_owned(),
+            QueueSpec::Slsm(k) => format!("slsm{k}"),
+            QueueSpec::Linden => "linden".to_owned(),
+            QueueSpec::Spray => "spray".to_owned(),
+            QueueSpec::MultiQueue(c) => {
+                if *c == 4 {
+                    "multiqueue".to_owned()
+                } else {
+                    format!("multiqueue-c{c}")
+                }
+            }
+            QueueSpec::GlobalLock => "globallock".to_owned(),
+            QueueSpec::Hunt => "hunt".to_owned(),
+            QueueSpec::Mound => "mound".to_owned(),
+            QueueSpec::Cbpq => "cbpq".to_owned(),
+            QueueSpec::GlobalLockPairing => "globallock-pairing".to_owned(),
+            QueueSpec::MultiQueuePairing(c) => format!("multiqueue-pairing-c{c}"),
+        }
+    }
+
+    /// Parse a name produced by [`QueueSpec::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dlsm" => Some(QueueSpec::Dlsm),
+            "linden" => Some(QueueSpec::Linden),
+            "spray" => Some(QueueSpec::Spray),
+            "multiqueue" => Some(QueueSpec::MultiQueue(4)),
+            "globallock" => Some(QueueSpec::GlobalLock),
+            "hunt" => Some(QueueSpec::Hunt),
+            "mound" => Some(QueueSpec::Mound),
+            "cbpq" => Some(QueueSpec::Cbpq),
+            "globallock-pairing" => Some(QueueSpec::GlobalLockPairing),
+            _ => {
+                if let Some(k) = s.strip_prefix("klsm") {
+                    k.parse().ok().map(QueueSpec::Klsm)
+                } else if let Some(k) = s.strip_prefix("slsm") {
+                    k.parse().ok().map(QueueSpec::Slsm)
+                } else if let Some(c) = s.strip_prefix("multiqueue-pairing-c") {
+                    c.parse().ok().map(QueueSpec::MultiQueuePairing)
+                } else if let Some(c) = s.strip_prefix("multiqueue-c") {
+                    c.parse().ok().map(QueueSpec::MultiQueue)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The seven queue variants of the paper's main comparison
+    /// (figure 1): klsm128/256/4096, linden, spray, multiqueue,
+    /// globallock.
+    pub fn paper_set() -> Vec<QueueSpec> {
+        vec![
+            QueueSpec::Klsm(128),
+            QueueSpec::Klsm(256),
+            QueueSpec::Klsm(4096),
+            QueueSpec::Linden,
+            QueueSpec::Spray,
+            QueueSpec::MultiQueue(4),
+            QueueSpec::GlobalLock,
+        ]
+    }
+
+    /// The queues evaluated in the rank-error tables (klsm variants and
+    /// the MultiQueue; strict queues trivially have rank 0, but we
+    /// include linden as a control as the paper's tables do).
+    pub fn quality_set() -> Vec<QueueSpec> {
+        vec![
+            QueueSpec::Klsm(128),
+            QueueSpec::Klsm(256),
+            QueueSpec::Klsm(4096),
+            QueueSpec::MultiQueue(4),
+            QueueSpec::Spray,
+            QueueSpec::Linden,
+        ]
+    }
+}
+
+impl std::fmt::Display for QueueSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Instantiate the queue described by a [`QueueSpec`] and run `$body`
+/// with `$q` bound to it. `$threads` is the number of worker threads
+/// (an extra handle slot is provisioned for prefilling where the
+/// structure caps handles).
+#[macro_export]
+macro_rules! with_queue {
+    ($spec:expr, $threads:expr, $q:ident => $body:expr) => {{
+        let threads: usize = $threads;
+        match $spec {
+            $crate::QueueSpec::Klsm(k) => {
+                let $q = ::klsm::Klsm::new(k, threads + 1);
+                $body
+            }
+            $crate::QueueSpec::Dlsm => {
+                let $q = ::klsm::Dlsm::new(threads + 1);
+                $body
+            }
+            $crate::QueueSpec::Slsm(k) => {
+                let $q = ::klsm::Slsm::new(k);
+                $body
+            }
+            $crate::QueueSpec::Linden => {
+                let $q = ::skiplist_pq::LindenPq::new();
+                $body
+            }
+            $crate::QueueSpec::Spray => {
+                let $q = ::skiplist_pq::SprayList::new(threads);
+                $body
+            }
+            $crate::QueueSpec::MultiQueue(c) => {
+                let $q = ::multiqueue_pq::MultiQueue::<::seqpq::BinaryHeap>::new(c, threads);
+                $body
+            }
+            $crate::QueueSpec::MultiQueuePairing(c) => {
+                let $q = ::multiqueue_pq::MultiQueue::<::seqpq::PairingHeap>::new(c, threads);
+                $body
+            }
+            $crate::QueueSpec::GlobalLock => {
+                let $q = ::lockedpq::GlobalLockPq::<::seqpq::BinaryHeap>::new();
+                $body
+            }
+            $crate::QueueSpec::GlobalLockPairing => {
+                let $q = ::lockedpq::GlobalLockPq::<::seqpq::PairingHeap>::new();
+                $body
+            }
+            $crate::QueueSpec::Hunt => {
+                let $q = ::lockedpq::HuntHeap::new();
+                $body
+            }
+            $crate::QueueSpec::Mound => {
+                let $q = ::lockedpq::Mound::new();
+                $body
+            }
+            $crate::QueueSpec::Cbpq => {
+                let $q = ::cbpq::Cbpq::new();
+                $body
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        let specs = [
+            QueueSpec::Klsm(128),
+            QueueSpec::Klsm(4096),
+            QueueSpec::Dlsm,
+            QueueSpec::Slsm(256),
+            QueueSpec::Linden,
+            QueueSpec::Spray,
+            QueueSpec::MultiQueue(4),
+            QueueSpec::MultiQueue(2),
+            QueueSpec::GlobalLock,
+            QueueSpec::Hunt,
+            QueueSpec::Mound,
+            QueueSpec::Cbpq,
+            QueueSpec::GlobalLockPairing,
+            QueueSpec::MultiQueuePairing(4),
+        ];
+        for s in specs {
+            assert_eq!(QueueSpec::parse(&s.name()), Some(s), "{s:?}");
+        }
+        assert_eq!(QueueSpec::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn paper_set_has_seven_variants() {
+        assert_eq!(QueueSpec::paper_set().len(), 7);
+    }
+
+    #[test]
+    fn with_queue_instantiates_every_spec() {
+        use pq_traits::{ConcurrentPq, PqHandle};
+        for spec in [
+            QueueSpec::Klsm(16),
+            QueueSpec::Dlsm,
+            QueueSpec::Slsm(8),
+            QueueSpec::Linden,
+            QueueSpec::Spray,
+            QueueSpec::MultiQueue(2),
+            QueueSpec::GlobalLock,
+            QueueSpec::Hunt,
+            QueueSpec::Mound,
+            QueueSpec::Cbpq,
+            QueueSpec::GlobalLockPairing,
+            QueueSpec::MultiQueuePairing(2),
+        ] {
+            let drained = with_queue!(spec, 1, q => {
+                let mut h = q.handle();
+                for k in 0..50u64 {
+                    h.insert(k, k);
+                }
+                let mut n = 0;
+                while h.delete_min().is_some() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(drained, 50, "{spec}");
+        }
+    }
+}

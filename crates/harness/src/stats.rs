@@ -1,0 +1,159 @@
+//! Summary statistics: mean, standard deviation, 95 % confidence
+//! intervals (Student's t for small samples, as appropriate for the
+//! paper's 10 repetitions).
+
+/// Two-sided 97.5 % quantiles of Student's t-distribution by degrees of
+/// freedom (1-based index; `T975[0]` is df = 1). Beyond 30 df the normal
+/// approximation 1.96 is used.
+const T975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Summary of a sample of measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub sd: f64,
+    /// Half-width of the 95 % confidence interval of the mean.
+    pub ci95: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty samples yield all-zero summaries; a
+    /// single observation has `sd = ci95 = 0`.
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Self {
+                mean: 0.0,
+                sd: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self {
+                mean,
+                sd: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let sd = var.sqrt();
+        let df = n - 1;
+        let t = if df <= T975.len() {
+            T975[df - 1]
+        } else {
+            1.96
+        };
+        Self {
+            mean,
+            sd,
+            ci95: t * sd / (n as f64).sqrt(),
+            n,
+        }
+    }
+
+    /// Summarize integer observations (ranks, counts).
+    pub fn of_u64(xs: &[u64]) -> Self {
+        // Avoid materializing for huge rank logs: stream the two passes.
+        let n = xs.len();
+        if n == 0 {
+            return Self::of(&[]);
+        }
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self {
+                mean,
+                sd: 0.0,
+                ci95: 0.0,
+                n,
+            };
+        }
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let sd = var.sqrt();
+        let df = n - 1;
+        let t = if df <= T975.len() {
+            T975[df - 1]
+        } else {
+            1.96
+        };
+        Self {
+            mean,
+            sd,
+            ci95: t * sd / (n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2} (sd {:.2}, n={})", self.mean, self.ci95, self.sd, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd with n-1: sqrt(32/7) ≈ 2.1381.
+        assert!((s.sd - 2.13809).abs() < 1e-4);
+        // df=7 → t=2.365.
+        assert!((s.ci95 - 2.365 * s.sd / 8f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_sample_zero_sd() {
+        let s = Summary::of(&[3.0; 10]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn u64_matches_f64() {
+        let a = Summary::of_u64(&[1, 2, 3, 4, 5]);
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.sd - b.sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_sample_uses_normal_quantile() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert!((s.ci95 - 1.96 * s.sd / 10.0).abs() < 1e-9);
+    }
+}

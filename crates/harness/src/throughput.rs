@@ -1,0 +1,256 @@
+//! The throughput benchmark.
+//!
+//! "We prefill priority queues with 10⁶ elements prior the benchmark, and
+//! then measure throughput for 10 seconds, finally reporting on the
+//! number of operations performed per second" (appendix F). Each
+//! configuration runs `reps` times; the mean and 95 % confidence interval
+//! over repetitions are reported, as in the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use pq_traits::{ConcurrentPq, PqHandle};
+use workloads::config::StopCondition;
+use workloads::{BenchConfig, KeyGen, OpKind, OpStream, ThreadRole};
+
+use crate::registry::QueueSpec;
+use crate::stats::Summary;
+use crate::with_queue;
+
+/// Value-space partitioning so every inserted value is globally unique:
+/// thread `t` uses values `t << VALUE_SHIFT ..`; the prefill uses
+/// `PREFILL_TAG`.
+pub(crate) const VALUE_SHIFT: u32 = 40;
+pub(crate) const PREFILL_TAG: u64 = 0xFF << VALUE_SHIFT;
+
+/// Result of one throughput configuration.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Queue display name.
+    pub queue: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Operations per second, one entry per repetition.
+    pub per_rep_ops_per_sec: Vec<f64>,
+    /// Summary over repetitions.
+    pub summary: Summary,
+    /// Per-thread operation counts of the *last* repetition; exposes
+    /// fairness (a queue whose slow path starves some threads shows a
+    /// skewed distribution even when the total looks healthy).
+    pub per_thread_ops: Vec<u64>,
+}
+
+impl ThroughputResult {
+    /// Mean throughput in million operations per second (the paper's
+    /// MOps/s axis).
+    pub fn mops(&self) -> f64 {
+        self.summary.mean / 1e6
+    }
+
+    /// Fairness as min/max of per-thread op counts in [0, 1]; 1.0 means
+    /// perfectly even progress, small values mean starvation.
+    pub fn fairness(&self) -> f64 {
+        let max = self.per_thread_ops.iter().copied().max().unwrap_or(0);
+        let min = self.per_thread_ops.iter().copied().min().unwrap_or(0);
+        if max == 0 {
+            0.0
+        } else {
+            min as f64 / max as f64
+        }
+    }
+}
+
+/// Run the full throughput benchmark for one queue and configuration.
+pub fn run_throughput(spec: QueueSpec, cfg: &BenchConfig) -> ThroughputResult {
+    let mut per_rep = Vec::with_capacity(cfg.reps);
+    let mut per_thread_ops = Vec::new();
+    for rep in 0..cfg.reps {
+        let (ops_per_sec, per_thread) = with_queue!(spec, cfg.threads, q => run_once(&q, cfg, rep));
+        per_rep.push(ops_per_sec);
+        per_thread_ops = per_thread;
+    }
+    ThroughputResult {
+        queue: spec.name(),
+        threads: cfg.threads,
+        summary: Summary::of(&per_rep),
+        per_rep_ops_per_sec: per_rep,
+        per_thread_ops,
+    }
+}
+
+/// One repetition: prefill (split across the workers), barrier, timed
+/// mixed workload. Returns operations per second over the measurement
+/// window plus per-thread operation counts.
+fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<u64>) {
+    let rep_seed = cfg.seed ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let prefill_items = cfg.prefill_items(PREFILL_TAG);
+    let threads = cfg.threads;
+    let barrier = Barrier::new(threads + 1);
+    let total_ops = AtomicU64::new(0);
+    let elapsed_ns = AtomicU64::new(0);
+    let per_thread: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let per_thread = &per_thread;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let chunk_lo = t * prefill_items.len() / threads;
+            let chunk_hi = (t + 1) * prefill_items.len() / threads;
+            let prefill = &prefill_items[chunk_lo..chunk_hi];
+            let barrier = &barrier;
+            let total_ops = &total_ops;
+            let elapsed_ns = &elapsed_ns;
+            scope.spawn(move || {
+                let mut h = q.handle();
+                for it in prefill {
+                    h.insert(it.key, it.value);
+                }
+                let role = ThreadRole::for_thread(cfg.workload, t, threads);
+                let mut ops = OpStream::new(role, rep_seed, t as u64);
+                let mut keys = KeyGen::new(cfg.key_dist, rep_seed, t as u64);
+                let mut next_value = (t as u64) << VALUE_SHIFT;
+                barrier.wait(); // prefill complete
+                barrier.wait(); // start signal
+                let started = Instant::now();
+                let mut count = 0u64;
+                match cfg.stop {
+                    StopCondition::Duration(d) => loop {
+                        for _ in 0..64 {
+                            perform(&mut h, &mut ops, &mut keys, &mut next_value);
+                        }
+                        count += 64;
+                        if started.elapsed() >= d {
+                            break;
+                        }
+                    },
+                    StopCondition::OpsPerThread(n) => {
+                        for _ in 0..n {
+                            perform(&mut h, &mut ops, &mut keys, &mut next_value);
+                        }
+                        count = n;
+                    }
+                }
+                let ns = started.elapsed().as_nanos() as u64;
+                total_ops.fetch_add(count, Ordering::Relaxed);
+                per_thread[t].store(count, Ordering::Relaxed);
+                elapsed_ns.fetch_max(ns, Ordering::Relaxed);
+            });
+        }
+        barrier.wait(); // wait for prefill
+        barrier.wait(); // release the workers
+    });
+
+    let ops = total_ops.load(Ordering::Relaxed) as f64;
+    let secs = elapsed_ns.load(Ordering::Relaxed) as f64 / 1e9;
+    let counts = per_thread
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    (if secs > 0.0 { ops / secs } else { 0.0 }, counts)
+}
+
+#[inline]
+fn perform<H: PqHandle>(
+    h: &mut H,
+    ops: &mut OpStream,
+    keys: &mut KeyGen,
+    next_value: &mut u64,
+) {
+    match ops.next_op() {
+        OpKind::Insert => {
+            let key = keys.next_key();
+            h.insert(key, *next_value);
+            *next_value += 1;
+        }
+        OpKind::DeleteMin => {
+            if let Some(item) = h.delete_min() {
+                keys.observe_delete(item.key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use workloads::{KeyDistribution, Workload};
+
+    fn tiny_cfg(threads: usize) -> BenchConfig {
+        BenchConfig {
+            threads,
+            workload: Workload::Uniform,
+            key_dist: KeyDistribution::uniform(16),
+            prefill: 2_000,
+            stop: StopCondition::Duration(Duration::from_millis(20)),
+            reps: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn reports_positive_throughput_for_every_queue() {
+        for spec in [
+            QueueSpec::Klsm(128),
+            QueueSpec::Linden,
+            QueueSpec::Spray,
+            QueueSpec::MultiQueue(4),
+            QueueSpec::GlobalLock,
+        ] {
+            let r = run_throughput(spec, &tiny_cfg(2));
+            assert_eq!(r.per_rep_ops_per_sec.len(), 2);
+            assert!(r.summary.mean > 0.0, "{spec} reported zero throughput");
+        }
+    }
+
+    #[test]
+    fn split_workload_runs() {
+        let mut cfg = tiny_cfg(2);
+        cfg.workload = Workload::Split;
+        let r = run_throughput(QueueSpec::MultiQueue(4), &cfg);
+        assert!(r.summary.mean > 0.0);
+    }
+
+    #[test]
+    fn ops_per_thread_mode_counts_exactly() {
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::OpsPerThread(1_000);
+        cfg.reps = 1;
+        let r = run_throughput(QueueSpec::GlobalLock, &cfg);
+        // ops/s positive and finite; exact count is 2 × 1000 over the
+        // measured window.
+        assert!(r.summary.mean.is_finite() && r.summary.mean > 0.0);
+    }
+
+    #[test]
+    fn ascending_keys_run() {
+        let mut cfg = tiny_cfg(2);
+        cfg.key_dist = KeyDistribution::ascending();
+        let r = run_throughput(QueueSpec::Klsm(256), &cfg);
+        assert!(r.summary.mean > 0.0);
+    }
+
+    #[test]
+    fn per_thread_ops_and_fairness_reported() {
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::OpsPerThread(500);
+        cfg.reps = 1;
+        let r = run_throughput(QueueSpec::MultiQueue(4), &cfg);
+        assert_eq!(r.per_thread_ops.len(), 2);
+        // Fixed-ops mode: both threads do exactly 500 ops → fairness 1.
+        assert_eq!(r.per_thread_ops, vec![500, 500]);
+        assert_eq!(r.fairness(), 1.0);
+    }
+
+    #[test]
+    fn fairness_of_empty_result_is_zero() {
+        let r = ThroughputResult {
+            queue: "x".into(),
+            threads: 0,
+            per_rep_ops_per_sec: vec![],
+            summary: crate::Summary::of(&[]),
+            per_thread_ops: vec![],
+        };
+        assert_eq!(r.fairness(), 0.0);
+    }
+}

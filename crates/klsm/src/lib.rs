@@ -1,0 +1,64 @@
+//! The k-LSM relaxed, linearizable, lock-free concurrent priority queue
+//! (Wimmer et al., PPoPP 2015), plus its two standalone components.
+//!
+//! The k-LSM composes:
+//!
+//! * the **DLSM** ([`dlsm::Dlsm`]) — one sequential LSM per thread.
+//!   Operations are embarrassingly parallel; inter-thread communication
+//!   happens only when a deletion finds the local LSM empty and *spies*
+//!   items from another thread. `delete_min` returns an item that is
+//!   minimal **on the current thread**.
+//! * the **SLSM** ([`slsm::Slsm`]) — a single shared LSM whose blocks are
+//!   immutable sorted arrays published through an epoch-protected,
+//!   copy-on-write block list. A *pivot range* covers (a subset of) the
+//!   k+1 smallest live items; deletions take a random pivot item with a
+//!   single CAS on its shared "taken" flag and therefore skip at most `k`
+//!   items.
+//!
+//! The composed [`Klsm`] inserts into the thread-local LSM and evicts its
+//! largest block into the SLSM whenever the local component exceeds `k`
+//! items; deletions peek both components and take the smaller head.
+//! DLSM deletions skip at most `k(P-1)` items and SLSM deletions at most
+//! `k`, so k-LSM deletions skip at most `kP` items in total.
+//!
+//! # Example
+//!
+//! ```
+//! use klsm::Klsm;
+//! use pq_traits::{ConcurrentPq, PqHandle};
+//!
+//! let queue = Klsm::new(128, /*max_threads=*/ 2);
+//! std::thread::scope(|s| {
+//!     for t in 0..2u64 {
+//!         let queue = &queue;
+//!         s.spawn(move || {
+//!             let mut h = queue.handle();
+//!             for i in 0..1000 {
+//!                 h.insert(i, t * 1000 + i);
+//!             }
+//!             // Returns one of the (k·P + 1) smallest items.
+//!             assert!(h.delete_min().is_some());
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! # Differences from the C++ implementation
+//!
+//! See DESIGN.md §2. The crucial correctness device here is that every
+//! inserted batch owns a [`shared_block::Segment`] of atomic taken flags
+//! that is *shared by reference* between a block and every merged
+//! descendant of that block, so a deletion (CAS on the flag) and a
+//! concurrent structural merge (which copies entries, not flags) can
+//! never cause an item to be returned twice.
+
+#![warn(missing_docs)]
+
+pub mod dlsm;
+pub mod klsm;
+pub mod shared_block;
+pub mod slsm;
+
+pub use dlsm::Dlsm;
+pub use klsm::Klsm;
+pub use slsm::Slsm;

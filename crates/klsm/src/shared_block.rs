@@ -1,0 +1,326 @@
+//! Immutable shared blocks for the SLSM.
+//!
+//! A [`SharedBlock`] is a sorted array of entries. Each entry pairs an
+//! item with a pointer to an [`AtomicBool`] *taken flag*. Flags live in
+//! [`Segment`]s — one segment per inserted batch — and are **shared by
+//! reference** between a block and every block later produced by merging
+//! it: merging copies entries (item + flag pointer) but never the flags
+//! themselves. A deletion claims an item by a single
+//! `compare_exchange(false, true)` on its flag, so no matter how many
+//! block generations an entry has been copied through, at most one
+//! deletion can ever return it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pq_traits::Item;
+
+/// Taken flags for one inserted batch. Kept alive by `Arc`s held in every
+/// block whose entries point into it.
+#[derive(Debug)]
+pub struct Segment {
+    flags: Box<[AtomicBool]>,
+}
+
+impl Segment {
+    /// A segment of `n` untaken flags.
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// Pointer to flag `i`. Valid for as long as the `Arc<Segment>` lives.
+    #[inline]
+    fn flag_ptr(&self, i: usize) -> *const AtomicBool {
+        &self.flags[i] as *const AtomicBool
+    }
+}
+
+/// One sorted slot in a shared block: an item plus its shared taken flag.
+#[derive(Clone, Copy, Debug)]
+pub struct Entry {
+    /// The stored key-value pair.
+    pub item: Item,
+    flag: *const AtomicBool,
+}
+
+impl Entry {
+    /// `true` if the item has been claimed by a deletion.
+    #[inline]
+    pub fn is_taken(&self) -> bool {
+        // SAFETY: `flag` points into a Segment kept alive by the
+        // SharedBlock holding this entry.
+        unsafe { (*self.flag).load(Ordering::Acquire) }
+    }
+
+    /// Attempt to claim the item. Returns `true` exactly once per entry
+    /// across all copies of it in all block generations.
+    #[inline]
+    pub fn try_take(&self) -> bool {
+        // SAFETY: as in `is_taken`.
+        unsafe {
+            (*self.flag)
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        }
+    }
+}
+
+/// Immutable sorted block of entries, plus the segments keeping the
+/// entries' flags alive and a monotone `first` hint that skips the taken
+/// prefix.
+#[derive(Debug)]
+pub struct SharedBlock {
+    entries: Box<[Entry]>,
+    /// Entries `[0, first)` are known taken. Monotone; advanced with
+    /// `fetch_max`-style updates. A hint only — correctness never depends
+    /// on it.
+    first: AtomicUsize,
+    /// Keep-alive references for every segment the entries point into.
+    segments: Box<[Arc<Segment>]>,
+    capacity: usize,
+}
+
+// SAFETY: `Entry.flag` pointers target `AtomicBool`s inside `segments`,
+// which the block owns (via Arc) for its whole lifetime; `AtomicBool` is
+// Sync and entries are never mutated after construction.
+unsafe impl Send for SharedBlock {}
+unsafe impl Sync for SharedBlock {}
+
+impl SharedBlock {
+    /// Build a block from a sorted batch of items with a fresh segment of
+    /// untaken flags.
+    pub fn from_batch(items: &[Item]) -> Arc<Self> {
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        let segment = Segment::new(items.len());
+        let entries: Box<[Entry]> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &item)| Entry {
+                item,
+                flag: segment.flag_ptr(i),
+            })
+            .collect();
+        let capacity = entries.len().next_power_of_two().max(1);
+        Arc::new(Self {
+            entries,
+            first: AtomicUsize::new(0),
+            segments: Box::new([segment]),
+            capacity,
+        })
+    }
+
+    /// Merge the live (untaken-at-copy-time) entries of two blocks into a
+    /// fresh block. Flags are shared with the parents, so entries taken
+    /// concurrently with the merge are simply observed as taken in the
+    /// child.
+    pub fn merge(a: &SharedBlock, b: &SharedBlock) -> Arc<Self> {
+        let mut entries = Vec::with_capacity(a.len_hint() + b.len_hint());
+        let mut ia = a.live_entries().peekable();
+        let mut ib = b.live_entries().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.item <= y.item {
+                        entries.push(*ia.next().expect("peeked"));
+                    } else {
+                        entries.push(*ib.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => entries.extend(ia.by_ref().copied()),
+                (None, Some(_)) => entries.extend(ib.by_ref().copied()),
+                (None, None) => break,
+            }
+        }
+        let segments: Box<[Arc<Segment>]> = a
+            .segments
+            .iter()
+            .chain(b.segments.iter())
+            .cloned()
+            .collect();
+        let capacity = entries.len().next_power_of_two().max(1);
+        Arc::new(Self {
+            entries: entries.into_boxed_slice(),
+            first: AtomicUsize::new(0),
+            segments,
+            capacity,
+        })
+    }
+
+    /// Rebuild this block around its currently-live entries (compaction).
+    pub fn compact(&self) -> Arc<Self> {
+        let entries: Vec<Entry> = self.live_entries().copied().collect();
+        let capacity = entries.len().next_power_of_two().max(1);
+        Arc::new(Self {
+            entries: entries.into_boxed_slice(),
+            first: AtomicUsize::new(0),
+            segments: self.segments.clone().into_vec().into_boxed_slice(),
+            capacity,
+        })
+    }
+
+    /// Power-of-two capacity (based on live count at construction).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries including taken ones.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Upper bound on the number of live entries (total minus the known
+    /// taken prefix).
+    #[inline]
+    pub fn len_hint(&self) -> usize {
+        self.entries.len() - self.first.load(Ordering::Relaxed).min(self.entries.len())
+    }
+
+    /// Entry at index `i`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> &Entry {
+        &self.entries[i]
+    }
+
+    /// Current `first` hint.
+    #[inline]
+    pub fn first_hint(&self) -> usize {
+        self.first.load(Ordering::Relaxed)
+    }
+
+    /// Advance the `first` hint to at least `to` (monotone).
+    pub fn advance_first(&self, to: usize) {
+        self.first.fetch_max(to, Ordering::Relaxed);
+    }
+
+    /// Index of the first live entry at or after the `first` hint,
+    /// advancing the hint past any taken prefix found. `None` if the
+    /// block is (currently) fully taken.
+    pub fn refresh_first(&self) -> Option<usize> {
+        let mut i = self.first.load(Ordering::Relaxed);
+        while i < self.entries.len() && self.entries[i].is_taken() {
+            i += 1;
+        }
+        self.first.fetch_max(i, Ordering::Relaxed);
+        (i < self.entries.len()).then_some(i)
+    }
+
+    /// Smallest live item, if any (refreshes the `first` hint).
+    pub fn peek(&self) -> Option<Item> {
+        self.refresh_first().map(|i| self.entries[i].item)
+    }
+
+    /// Iterate over entries that are live right now, starting from the
+    /// `first` hint. Concurrent takes may race; callers must still CAS.
+    pub fn live_entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries[self.first.load(Ordering::Relaxed).min(self.entries.len())..]
+            .iter()
+            .filter(|e| !e.is_taken())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(keys: &[u64]) -> Vec<Item> {
+        keys.iter().map(|&k| Item::new(k, 0)).collect()
+    }
+
+    #[test]
+    fn take_succeeds_once() {
+        let b = SharedBlock::from_batch(&items(&[1, 2, 3]));
+        assert!(b.entry(1).try_take());
+        assert!(!b.entry(1).try_take());
+        assert!(b.entry(1).is_taken());
+        assert!(!b.entry(0).is_taken());
+    }
+
+    #[test]
+    fn merge_shares_flags() {
+        let a = SharedBlock::from_batch(&items(&[1, 3]));
+        let b = SharedBlock::from_batch(&items(&[2, 4]));
+        let m = SharedBlock::merge(&a, &b);
+        let got: Vec<u64> = m.live_entries().map(|e| e.item.key).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        // Taking through the merged block marks the parent entry too.
+        assert!(m.entry(0).try_take()); // key 1 lives in `a`
+        assert!(a.entry(0).is_taken());
+        assert!(!a.entry(0).try_take());
+    }
+
+    #[test]
+    fn merge_filters_taken() {
+        let a = SharedBlock::from_batch(&items(&[1, 3, 5]));
+        assert!(a.entry(1).try_take()); // remove key 3
+        let b = SharedBlock::from_batch(&items(&[2]));
+        let m = SharedBlock::merge(&a, &b);
+        let got: Vec<u64> = m.live_entries().map(|e| e.item.key).collect();
+        assert_eq!(got, vec![1, 2, 5]);
+        assert_eq!(m.total_len(), 3);
+    }
+
+    #[test]
+    fn refresh_first_skips_taken_prefix() {
+        let b = SharedBlock::from_batch(&items(&[1, 2, 3, 4]));
+        assert!(b.entry(0).try_take());
+        assert!(b.entry(1).try_take());
+        assert_eq!(b.refresh_first(), Some(2));
+        assert_eq!(b.first_hint(), 2);
+        assert_eq!(b.peek(), Some(Item::new(3, 0)));
+    }
+
+    #[test]
+    fn fully_taken_block() {
+        let b = SharedBlock::from_batch(&items(&[7]));
+        assert!(b.entry(0).try_take());
+        assert_eq!(b.refresh_first(), None);
+        assert_eq!(b.peek(), None);
+        assert_eq!(b.live_entries().count(), 0);
+    }
+
+    #[test]
+    fn compact_drops_taken_and_resizes() {
+        let b = SharedBlock::from_batch(&items(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        for i in 0..6 {
+            assert!(b.entry(i).try_take());
+        }
+        let c = b.compact();
+        assert_eq!(c.total_len(), 2);
+        assert_eq!(c.capacity(), 2);
+        // Flags still shared: taking in the compacted block blocks the old.
+        assert!(c.entry(0).try_take());
+        assert!(!b.entry(6).try_take());
+    }
+
+    #[test]
+    fn capacity_is_power_of_two() {
+        for n in [1usize, 2, 3, 5, 8, 9, 100] {
+            let b = SharedBlock::from_batch(&items(&(0..n as u64).collect::<Vec<_>>()));
+            assert!(b.capacity().is_power_of_two());
+            assert!(b.capacity() >= n);
+            assert!(b.capacity() < 2 * n.next_power_of_two());
+        }
+    }
+
+    #[test]
+    fn concurrent_takes_are_exclusive() {
+        let b = SharedBlock::from_batch(&items(&(0..1000).collect::<Vec<_>>()));
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        if b.entry(i).try_take() {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,410 @@
+//! The Hunt et al. fine-grained-locking concurrent heap (`hunt`).
+//!
+//! Hunt, Michael, Parthasarathy and Scott (IPL 1996) — described in the
+//! paper's survey (App. D) as "an early concurrent design \[that\] attempts
+//! to minimize lock contention between threads by a) adding per-node
+//! locks, b) spreading subsequent insertions through a bit-reversal
+//! technique, and c) letting insertions traverse bottom-up in order to
+//! minimize conflicts with top-down deletions."
+//!
+//! A short global lock serializes only the size counter and the choice of
+//! the bit-reversed slot; the actual heap reordering uses hand-over-hand
+//! per-node locks, always acquired in ascending index order
+//! (parent-before-child), which rules out deadlock between upward
+//! insertions and downward deletions.
+//!
+//! An in-flight insertion tags its slot with the owning handle's id; a
+//! concurrent `delete_min` sifting the root item down may swap such a
+//! tagged slot upwards, and the insertion then *chases* its item up the
+//! tree (the `tag != my id` case below), exactly as in the original
+//! algorithm.
+
+use parking_lot::Mutex;
+
+use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Slot ownership state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tag {
+    /// No item.
+    Empty,
+    /// Settled item, free to participate in heap reordering.
+    Available,
+    /// Item still being bubbled up by the handle with this id.
+    Owned(u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tag: Tag,
+    item: Item,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        tag: Tag::Empty,
+        item: Item::new(0, 0),
+    };
+}
+
+/// Fine-grained locking concurrent binary min-heap with fixed capacity.
+pub struct HuntHeap {
+    /// 1-based heap array; `slots[0]` is unused padding.
+    slots: Box<[Mutex<Slot>]>,
+    /// Guards `size` and the bit-reversal slot choice only.
+    size: Mutex<usize>,
+    next_id: AtomicU32,
+}
+
+impl HuntHeap {
+    /// Default capacity: 2²¹ items (≈ 2M), ample for the paper's 10⁶
+    /// prefill plus churn.
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 21)
+    }
+
+    /// Create a heap able to hold `cap` items.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1);
+        Self {
+            slots: (0..=cap).map(|_| Mutex::new(Slot::EMPTY)).collect(),
+            size: Mutex::new(0),
+            next_id: AtomicU32::new(1),
+        }
+    }
+
+    /// Number of stored items (racy read of the size counter).
+    pub fn len_hint(&self) -> usize {
+        *self.size.lock()
+    }
+
+    /// Bit-reversal within the heap level of 1-based index `c`: keeps the
+    /// leading 1 bit (the level) and reverses the remaining bits, so
+    /// consecutive insertions land in different subtrees.
+    fn bit_reverse(c: usize) -> usize {
+        debug_assert!(c >= 1);
+        let bits = usize::BITS - c.leading_zeros() - 1; // bits below the MSB
+        let msb = 1usize << bits;
+        let low = c & (msb - 1);
+        let reversed = low.reverse_bits() >> (usize::BITS - bits.max(1)) >> (bits.max(1) - bits);
+        // For bits == 0 the above is 0 as required.
+        msb | if bits == 0 { 0 } else { reversed }
+    }
+
+    fn insert_impl(&self, id: u32, key: Key, value: Value) {
+        let item = Item::new(key, value);
+        // Short critical section: reserve a slot.
+        let mut i = {
+            let mut size = self.size.lock();
+            assert!(*size + 1 < self.slots.len(), "HuntHeap capacity exceeded");
+            *size += 1;
+            let pos = Self::bit_reverse(*size);
+            let mut slot = self.slots[pos].lock();
+            debug_assert_eq!(slot.tag, Tag::Empty);
+            *slot = Slot {
+                tag: Tag::Owned(id),
+                item,
+            };
+            drop(slot);
+            pos
+        };
+        // Bubble up with pairwise (parent, child) locks, ascending order.
+        while i > 1 {
+            let parent = i / 2;
+            let mut p = self.slots[parent].lock();
+            let mut c = self.slots[i].lock();
+            match (p.tag, c.tag) {
+                (Tag::Available, Tag::Owned(owner)) if owner == id => {
+                    if c.item < p.item {
+                        std::mem::swap(&mut *p, &mut *c);
+                        // The tags travelled with the items; restore
+                        // ownership placement: our item is now at parent.
+                        drop(c);
+                        drop(p);
+                        i = parent;
+                    } else {
+                        c.tag = Tag::Available;
+                        return;
+                    }
+                }
+                (Tag::Empty, _) => {
+                    // Parent emptied by a deletion taking the last slot;
+                    // our item (wherever it is) will be found by chasing.
+                    drop(c);
+                    drop(p);
+                    i = parent;
+                }
+                (_, tag) if tag != Tag::Owned(id) => {
+                    // A deletion swapped our item upwards: chase it.
+                    drop(c);
+                    drop(p);
+                    i = parent;
+                }
+                _ => {
+                    // Parent is itself in-flight (Owned by another
+                    // insert): let it settle first.
+                    drop(c);
+                    drop(p);
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        if i == 1 {
+            let mut root = self.slots[1].lock();
+            if root.tag == Tag::Owned(id) {
+                root.tag = Tag::Available;
+            }
+        }
+    }
+
+    fn delete_min_impl(&self) -> Option<Item> {
+        // Short critical section: claim the last occupied slot.
+        let bottom_slot = {
+            let mut size = self.size.lock();
+            if *size == 0 {
+                return None;
+            }
+            let pos = Self::bit_reverse(*size);
+            *size -= 1;
+            let mut slot = self.slots[pos].lock();
+            let taken = *slot;
+            *slot = Slot::EMPTY;
+            drop(slot);
+            drop(size);
+            // The bottom item may still be Owned by an in-flight insert
+            // that will chase upwards and eventually hit Empty/foreign
+            // tags and terminate; its item value is already ours.
+            taken
+        };
+        let mut root = self.slots[1].lock();
+        if root.tag == Tag::Empty {
+            // The heap contained exactly the slot we took.
+            return Some(bottom_slot.item);
+        }
+        if bottom_slot.item < root.item && root.tag == Tag::Available {
+            // The removed bottom item is smaller than the root: it *is*
+            // the minimum of what we can observe; return it directly.
+            return Some(bottom_slot.item);
+        }
+        let min = root.item;
+        root.item = bottom_slot.item;
+        root.tag = Tag::Available;
+        // Sift down with hand-over-hand locking (parent held, child
+        // locked, parent released on descend).
+        let mut i = 1usize;
+        let mut cur = root;
+        loop {
+            let l = 2 * i;
+            let r = l + 1;
+            if l >= self.slots.len() {
+                break;
+            }
+            let left = self.slots[l].lock();
+            let right = if r < self.slots.len() {
+                Some(self.slots[r].lock())
+            } else {
+                None
+            };
+            // Choose the smaller available child.
+            let use_right = match (&*left, right.as_deref()) {
+                (lslot, Some(rslot)) => {
+                    if lslot.tag == Tag::Empty {
+                        if rslot.tag == Tag::Empty {
+                            break;
+                        }
+                        true
+                    } else if rslot.tag == Tag::Empty {
+                        false
+                    } else {
+                        rslot.item < lslot.item
+                    }
+                }
+                (lslot, None) => {
+                    if lslot.tag == Tag::Empty {
+                        break;
+                    }
+                    false
+                }
+            };
+            let mut child = if use_right {
+                drop(left);
+                right.expect("chosen right child exists")
+            } else {
+                drop(right);
+                left
+            };
+            let child_idx = if use_right { r } else { l };
+            if child.item < cur.item {
+                std::mem::swap(&mut *child, &mut *cur);
+                drop(cur);
+                cur = child;
+                i = child_idx;
+            } else {
+                break;
+            }
+        }
+        Some(min)
+    }
+}
+
+impl Default for HuntHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for HuntHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HuntHeap")
+            .field("capacity", &(self.slots.len() - 1))
+            .finish()
+    }
+}
+
+/// Per-thread handle for [`HuntHeap`].
+pub struct HuntHandle<'a> {
+    heap: &'a HuntHeap,
+    id: u32,
+}
+
+impl PqHandle for HuntHandle<'_> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.heap.insert_impl(self.id, key, value);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        self.heap.delete_min_impl()
+    }
+}
+
+impl ConcurrentPq for HuntHeap {
+    type Handle<'a> = HuntHandle<'a>;
+
+    fn handle(&self) -> HuntHandle<'_> {
+        HuntHandle {
+            heap: self,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn name(&self) -> String {
+        "hunt".to_owned()
+    }
+}
+
+impl RelaxationBound for HuntHeap {
+    fn rank_bound(&self, _threads: usize) -> Option<u64> {
+        Some(0) // strict up to in-flight insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_first_levels() {
+        // Level 0: just the root.
+        assert_eq!(HuntHeap::bit_reverse(1), 1);
+        // Level 1 in order.
+        assert_eq!(HuntHeap::bit_reverse(2), 2);
+        assert_eq!(HuntHeap::bit_reverse(3), 3);
+        // Level 2 scattered: 4, 6, 5, 7.
+        assert_eq!(HuntHeap::bit_reverse(4), 4);
+        assert_eq!(HuntHeap::bit_reverse(5), 6);
+        assert_eq!(HuntHeap::bit_reverse(6), 5);
+        assert_eq!(HuntHeap::bit_reverse(7), 7);
+        // Level 3 scattered: 8, 12, 10, 14, 9, 13, 11, 15.
+        let level3: Vec<usize> = (8..16).map(HuntHeap::bit_reverse).collect();
+        let mut sorted = level3.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (8..16).collect::<Vec<_>>());
+        assert_eq!(level3[0], 8);
+        assert_eq!(level3[1], 12);
+    }
+
+    #[test]
+    fn bit_reverse_is_permutation_per_level() {
+        for level in 0..10u32 {
+            let lo = 1usize << level;
+            let hi = lo * 2;
+            let mut seen: Vec<usize> = (lo..hi).map(HuntHeap::bit_reverse).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (lo..hi).collect::<Vec<_>>(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn sequential_sorted_output() {
+        let h = HuntHeap::with_capacity(64);
+        let mut handle = h.handle();
+        for k in [9u64, 2, 7, 4, 1, 8, 3, 6, 5, 0] {
+            handle.insert(k, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| handle.delete_min())
+            .map(|i| i.key)
+            .collect();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_sequential_ops() {
+        let h = HuntHeap::with_capacity(1024);
+        let mut handle = h.handle();
+        let mut model = std::collections::BinaryHeap::new();
+        for i in 0..500u64 {
+            let k = (i * 2654435761) % 1000;
+            if i % 3 == 2 {
+                let got = handle.delete_min().map(|it| it.key);
+                let expect = model.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, expect);
+            } else {
+                handle.insert(k, i);
+                model.push(std::cmp::Reverse(k));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_heap() {
+        let h = HuntHeap::with_capacity(8);
+        let mut handle = h.handle();
+        assert_eq!(handle.delete_min(), None);
+        handle.insert(1, 1);
+        assert_eq!(handle.delete_min(), Some(Item::new(1, 1)));
+        assert_eq!(handle.delete_min(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::atomic::AtomicUsize;
+        let h = std::sync::Arc::new(HuntHeap::with_capacity(1 << 16));
+        let deleted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                let deleted = &deleted;
+                s.spawn(move || {
+                    let mut handle = h.handle();
+                    let mut dels = 0;
+                    for i in 0..5000u64 {
+                        if (i + t) % 2 == 0 {
+                            handle.insert((i * 37) % 5000, t * 5000 + i);
+                        } else if handle.delete_min().is_some() {
+                            dels += 1;
+                        }
+                    }
+                    deleted.fetch_add(dels, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut handle = h.handle();
+        let mut rest = 0;
+        while handle.delete_min().is_some() {
+            rest += 1;
+        }
+        assert_eq!(deleted.load(Ordering::Relaxed) + rest, 10000);
+    }
+}

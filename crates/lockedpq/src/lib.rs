@@ -1,0 +1,25 @@
+//! Lock-based priority-queue baselines.
+//!
+//! * [`global_lock::GlobalLockPq`] — "a simple, standardized sequential
+//!   priority queue implementation protected by a global lock is used to
+//!   establish a baseline for acceptable performance" (paper, App. C).
+//!   The sequential queue is the same array-based binary heap the C++
+//!   benchmarks get from `std::priority_queue`.
+//! * [`hunt::HuntHeap`] — the Hunt et al. (1996) fine-grained-locking
+//!   concurrent heap described in the paper's survey of other priority
+//!   queues (App. D): per-node locks, bit-reversal scattering of
+//!   consecutive insertions, and bottom-up insertion bubbling to reduce
+//!   conflicts with top-down deletions.
+//! * [`mound::Mound`] — Liu and Spear's tree-of-sorted-lists design
+//!   (App. D), lock-based variant with optimistic binary-search
+//!   insertion.
+
+#![warn(missing_docs)]
+
+pub mod global_lock;
+pub mod hunt;
+pub mod mound;
+
+pub use global_lock::GlobalLockPq;
+pub use hunt::HuntHeap;
+pub use mound::Mound;

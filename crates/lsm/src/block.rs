@@ -1,0 +1,200 @@
+//! A sorted block of items with a logically-deleted prefix.
+//!
+//! Blocks are the unit of storage in the LSM. A block owns a sorted array
+//! of items plus a `first` index: deletions advance `first` instead of
+//! shifting the array, so `pop_front` is O(1). The *capacity* of a block
+//! is the smallest power of two ≥ the number of items it was built with;
+//! the LSM maintains the paper's invariant `C/2 < len ≤ C` by compacting
+//! blocks that decay below half capacity.
+
+use pq_traits::Item;
+
+/// Sorted block with O(1) front removal.
+#[derive(Clone, Debug)]
+pub struct Block {
+    items: Vec<Item>,
+    first: usize,
+    capacity: usize,
+}
+
+impl Block {
+    /// Block holding a single item (capacity 1).
+    pub fn singleton(item: Item) -> Self {
+        Self {
+            items: vec![item],
+            first: 0,
+            capacity: 1,
+        }
+    }
+
+    /// Block from a sorted, non-empty item vector.
+    pub fn from_sorted(items: Vec<Item>) -> Self {
+        debug_assert!(!items.is_empty());
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        let capacity = items.len().next_power_of_two();
+        Self {
+            items,
+            first: 0,
+            capacity,
+        }
+    }
+
+    /// Number of live items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len() - self.first
+    }
+
+    /// `true` if no live items remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.first >= self.items.len()
+    }
+
+    /// Power-of-two capacity this block was sized for.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Smallest live item, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<Item> {
+        self.items.get(self.first).copied()
+    }
+
+    /// Remove and return the smallest live item.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<Item> {
+        let item = self.items.get(self.first).copied()?;
+        self.first += 1;
+        Some(item)
+    }
+
+    /// Iterate over live items in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.items[self.first..].iter()
+    }
+
+    /// Two-way merge of the live items of two blocks into a fresh block.
+    pub fn merge(a: Block, b: Block) -> Block {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let mut ia = a.items[a.first..].iter().copied().peekable();
+        let mut ib = b.items[b.first..].iter().copied().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        out.push(x);
+                        ia.next();
+                    } else {
+                        out.push(y);
+                        ib.next();
+                    }
+                }
+                (Some(_), None) => {
+                    out.extend(ia.by_ref());
+                }
+                (None, Some(_)) => {
+                    out.extend(ib.by_ref());
+                }
+                (None, None) => break,
+            }
+        }
+        debug_assert!(!out.is_empty(), "merging two empty blocks");
+        Block::from_sorted(out)
+    }
+
+    /// Rebuild the block around its live items only, recomputing capacity.
+    pub fn compact(self) -> Block {
+        let live: Vec<Item> = self.items[self.first..].to_vec();
+        Block::from_sorted(live)
+    }
+
+    /// Consume the block, returning its live items sorted ascending.
+    pub fn into_sorted_items(mut self) -> Vec<Item> {
+        self.items.drain(..self.first);
+        self.items
+    }
+
+    /// `true` if live items are sorted (tests only).
+    #[doc(hidden)]
+    pub fn is_sorted(&self) -> bool {
+        self.items[self.first..].windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(keys: &[u64]) -> Vec<Item> {
+        keys.iter().map(|&k| Item::new(k, 0)).collect()
+    }
+
+    #[test]
+    fn singleton_shape() {
+        let b = Block::singleton(Item::new(5, 1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.capacity(), 1);
+        assert_eq!(b.peek(), Some(Item::new(5, 1)));
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let b = Block::from_sorted(items(&[1, 2, 3, 4, 5]));
+        assert_eq!(b.capacity(), 8);
+        let b = Block::from_sorted(items(&[1, 2, 3, 4]));
+        assert_eq!(b.capacity(), 4);
+    }
+
+    #[test]
+    fn pop_front_in_order() {
+        let mut b = Block::from_sorted(items(&[1, 3, 5]));
+        assert_eq!(b.pop_front().map(|i| i.key), Some(1));
+        assert_eq!(b.pop_front().map(|i| i.key), Some(3));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pop_front().map(|i| i.key), Some(5));
+        assert!(b.is_empty());
+        assert_eq!(b.pop_front(), None);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Block::from_sorted(items(&[1, 4, 7]));
+        let b = Block::from_sorted(items(&[2, 3, 9]));
+        let m = Block::merge(a, b);
+        let got: Vec<u64> = m.iter().map(|i| i.key).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 7, 9]);
+        assert_eq!(m.capacity(), 8);
+    }
+
+    #[test]
+    fn merge_skips_deleted_prefix() {
+        let mut a = Block::from_sorted(items(&[1, 4, 7]));
+        a.pop_front();
+        let b = Block::from_sorted(items(&[2, 9]));
+        let m = Block::merge(a, b);
+        let got: Vec<u64> = m.iter().map(|i| i.key).collect();
+        assert_eq!(got, vec![2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn compact_recomputes_capacity() {
+        let mut b = Block::from_sorted(items(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        for _ in 0..6 {
+            b.pop_front();
+        }
+        assert_eq!(b.capacity(), 8);
+        let c = b.compact();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn into_sorted_items_drops_deleted() {
+        let mut b = Block::from_sorted(items(&[1, 2, 3]));
+        b.pop_front();
+        assert_eq!(b.into_sorted_items(), items(&[2, 3]));
+    }
+}

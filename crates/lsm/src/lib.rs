@@ -1,0 +1,340 @@
+//! Sequential Log-Structured Merge-Tree (LSM) priority queue.
+//!
+//! Appendix B of the paper: "The LSM consists of a logarithmic number of
+//! sorted arrays (called blocks) storing key-value containers (items).
+//! Blocks have capacities C = 2^i and capacities within the LSM are
+//! distinct. A block with capacity C must contain more than C/2 and at
+//! most C items. Insertions initially add a new singleton block to the
+//! LSM, and then merge blocks with identical capacities until all block
+//! capacities within the LSM are once again distinct. Deletions simply
+//! return the smallest of all blocks' minimal item."
+//!
+//! Both k-LSM components reuse this structure: the DLSM holds one LSM per
+//! thread, and the SLSM publishes immutable LSM blocks behind an epoch.
+//! This crate is purely sequential; `&mut self` everywhere.
+
+#![warn(missing_docs)]
+
+pub mod block;
+
+pub use block::Block;
+
+use pq_traits::{Item, Key, SequentialPq, Value};
+
+/// Sequential LSM priority queue.
+///
+/// Blocks are kept sorted by strictly decreasing capacity; the last block
+/// is the smallest. Insertion appends a singleton block and merges equal
+/// capacities right-to-left, so insertion cost is O(log n) amortized and
+/// `delete_min` is O(log n) worst case (scan of ≤ log n block heads).
+#[derive(Clone, Debug, Default)]
+pub struct Lsm {
+    /// Sorted by strictly decreasing capacity.
+    blocks: Vec<Block>,
+    len: usize,
+}
+
+impl Lsm {
+    /// Create an empty LSM.
+    pub fn new() -> Self {
+        Self {
+            blocks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build an LSM holding `items` (need not be sorted) as a single
+    /// block. O(n log n).
+    pub fn from_items(mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        Self::from_sorted(items)
+    }
+
+    /// Build an LSM from already-sorted items as a single block.
+    pub fn from_sorted(items: Vec<Item>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        if items.is_empty() {
+            return Self::new();
+        }
+        let len = items.len();
+        let mut lsm = Self {
+            blocks: vec![Block::from_sorted(items)],
+            len,
+        };
+        lsm.restore_distinct_capacities();
+        lsm
+    }
+
+    /// Number of blocks currently held. At most ⌈log₂ n⌉ + 1.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over `(capacity, live_len)` per block, largest first.
+    pub fn block_shapes(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.blocks.iter().map(|b| (b.capacity(), b.len()))
+    }
+
+    /// Iterate over all live items in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.blocks.iter().flat_map(|b| b.iter())
+    }
+
+    /// Remove and return the live items of the block with the *largest*
+    /// capacity, sorted ascending. Used by the k-LSM to evict the bulk of
+    /// a thread-local LSM into the shared LSM when it exceeds `k` items.
+    pub fn pop_largest_block(&mut self) -> Option<Vec<Item>> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let block = self.blocks.remove(0);
+        self.len -= block.len();
+        Some(block.into_sorted_items())
+    }
+
+    /// Drain all live items, sorted ascending. Used by DLSM spying.
+    pub fn take_all_sorted(&mut self) -> Vec<Item> {
+        let mut all: Vec<Item> = self.iter().copied().collect();
+        all.sort_unstable();
+        self.blocks.clear();
+        self.len = 0;
+        all
+    }
+
+    /// Merge neighbouring blocks until all capacities are distinct,
+    /// maintaining the decreasing-capacity order.
+    fn restore_distinct_capacities(&mut self) {
+        // Only the tail can violate distinctness (insertions append the
+        // smallest block), but deletions may shrink interior blocks, so we
+        // sweep from the back.
+        let mut i = self.blocks.len();
+        while i >= 2 {
+            let a = self.blocks[i - 2].capacity();
+            let b = self.blocks[i - 1].capacity();
+            if b >= a {
+                let small = self.blocks.remove(i - 1);
+                let big = self.blocks.remove(i - 2);
+                let merged = Block::merge(big, small);
+                // Re-insert at the position keeping capacities decreasing.
+                let pos = self
+                    .blocks
+                    .iter()
+                    .position(|blk| blk.capacity() <= merged.capacity())
+                    .unwrap_or(self.blocks.len());
+                self.blocks.insert(pos, merged);
+                i = self.blocks.len();
+            } else {
+                i -= 1;
+            }
+        }
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Compact away a block that has decayed below half its capacity
+    /// (deletions shrink blocks in place; the paper's invariant is
+    /// restored lazily here).
+    fn shrink_at(&mut self, idx: usize) {
+        if self.blocks[idx].is_empty() {
+            self.blocks.remove(idx);
+            return;
+        }
+        if self.blocks[idx].len() * 2 > self.blocks[idx].capacity() {
+            return;
+        }
+        let block = self.blocks.remove(idx);
+        let shrunk = block.compact();
+        let pos = self
+            .blocks
+            .iter()
+            .position(|blk| blk.capacity() <= shrunk.capacity())
+            .unwrap_or(self.blocks.len());
+        self.blocks.insert(pos, shrunk);
+        self.restore_distinct_capacities();
+    }
+
+    /// Verify the paper's structural invariants (tests only):
+    /// capacities strictly decreasing, each block `C/2 < len ≤ C`, len
+    /// consistent.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        let caps_decreasing = self
+            .blocks
+            .windows(2)
+            .all(|w| w[0].capacity() > w[1].capacity());
+        let fill_ok = self
+            .blocks
+            .iter()
+            .all(|b| b.len() * 2 > b.capacity() && b.len() <= b.capacity() && b.is_sorted());
+        let len_ok = self.len == self.blocks.iter().map(Block::len).sum::<usize>();
+        caps_decreasing && fill_ok && len_ok
+    }
+}
+
+impl SequentialPq for Lsm {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.blocks.push(Block::singleton(Item::new(key, value)));
+        self.len += 1;
+        self.restore_distinct_capacities();
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        let mut best: Option<(usize, Item)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let Some(head) = b.peek() {
+                if best.is_none_or(|(_, cur)| head < cur) {
+                    best = Some((i, head));
+                }
+            }
+        }
+        let (idx, item) = best?;
+        self.blocks[idx].pop_front();
+        self.len -= 1;
+        self.shrink_at(idx);
+        debug_assert!(self.check_invariants());
+        Some(item)
+    }
+
+    fn peek_min(&self) -> Option<Item> {
+        self.blocks.iter().filter_map(Block::peek).min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+}
+
+impl FromIterator<Item> for Lsm {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Self {
+        Self::from_items(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lsm() {
+        let mut l = Lsm::new();
+        assert!(l.is_empty());
+        assert_eq!(l.delete_min(), None);
+        assert_eq!(l.peek_min(), None);
+        assert_eq!(l.block_count(), 0);
+    }
+
+    #[test]
+    fn insert_merges_to_distinct_capacities() {
+        let mut l = Lsm::new();
+        for k in 0..8u64 {
+            l.insert(k, 0);
+            assert!(l.check_invariants(), "after insert {k}: {l:?}");
+        }
+        // 8 items fit in a single capacity-8 block.
+        assert_eq!(l.block_count(), 1);
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn block_count_is_logarithmic() {
+        let mut l = Lsm::new();
+        for k in 0..1000u64 {
+            l.insert(k, 0);
+        }
+        assert!(l.block_count() <= 11, "blocks = {}", l.block_count());
+    }
+
+    #[test]
+    fn sorted_output() {
+        let mut l = Lsm::new();
+        let keys = [13u64, 7, 42, 1, 99, 3, 56, 21, 0, 77];
+        for &k in &keys {
+            l.insert(k, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn from_sorted_builds_valid_lsm() {
+        let items: Vec<Item> = (0..100).map(|k| Item::new(k, 0)).collect();
+        let l = Lsm::from_sorted(items);
+        assert_eq!(l.len(), 100);
+        assert!(l.check_invariants());
+        assert_eq!(l.peek_min(), Some(Item::new(0, 0)));
+    }
+
+    #[test]
+    fn pop_largest_block_returns_sorted_bulk() {
+        let mut l = Lsm::new();
+        for k in (0..64u64).rev() {
+            l.insert(k, 0);
+        }
+        let before = l.len();
+        let bulk = l.pop_largest_block().unwrap();
+        assert!(bulk.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(l.len() + bulk.len(), before);
+        assert!(l.check_invariants());
+    }
+
+    #[test]
+    fn take_all_sorted_drains() {
+        let mut l = Lsm::from_items((0..37).map(|k| Item::new(37 - k, k)).collect());
+        let all = l.take_all_sorted();
+        assert_eq!(all.len(), 37);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        assert!(l.is_empty());
+        assert_eq!(l.block_count(), 0);
+    }
+
+    #[test]
+    fn deletions_shrink_blocks() {
+        let mut l = Lsm::new();
+        for k in 0..128u64 {
+            l.insert(k, 0);
+        }
+        for _ in 0..100 {
+            l.delete_min();
+            assert!(l.check_invariants());
+        }
+        assert_eq!(l.len(), 28);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_model(
+            ops in proptest::collection::vec((proptest::bool::ANY, 0u64..1000), 0..400)
+        ) {
+            let mut l = Lsm::new();
+            let mut model: Vec<Item> = Vec::new();
+            for (i, &(is_insert, k)) in ops.iter().enumerate() {
+                if is_insert {
+                    l.insert(k, i as u64);
+                    model.push(Item::new(k, i as u64));
+                } else {
+                    model.sort();
+                    let expect = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    proptest::prop_assert_eq!(l.delete_min(), expect);
+                }
+                proptest::prop_assert!(l.check_invariants());
+                proptest::prop_assert_eq!(l.len(), model.len());
+            }
+        }
+
+        #[test]
+        fn prop_block_count_logarithmic(n in 1usize..2000) {
+            let mut l = Lsm::new();
+            for k in 0..n as u64 {
+                l.insert(k, 0);
+            }
+            let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
+            proptest::prop_assert!(l.block_count() <= bound);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The MultiQueue relaxed concurrent priority queue (`multiqueue`).
+//!
+//! Rihani, Sanders and Dementiev (SPAA 2015 brief announcement):
+//! `c·P` sequential priority queues, each protected by a lock (the paper
+//! under reproduction sets the tuning parameter `c = 4` and uses C++
+//! `std::priority_queue`; we use the same array-based binary heap from
+//! `seqpq`). Insertions push to a random queue; deletions peek the
+//! minima of **two** randomly chosen queues and pop from the one with the
+//! smaller head. "So far, no complete analysis of its semantic bounds
+//! exists" — the expected rank error grows linearly with the thread
+//! count, which the quality benchmark reproduces.
+//!
+//! Each sub-queue caches its current minimum key in an atomic so the
+//! two-choice comparison does not need to take either lock; the lock is
+//! only taken to mutate the chosen queue (with `try_lock` + re-roll on
+//! contention, so operations never block on a busy sub-queue).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
+use seqpq::BinaryHeap;
+
+/// Sentinel stored in the cached-minimum atomic of an empty sub-queue.
+const EMPTY_MIN: u64 = u64::MAX;
+
+struct SubQueue<P: SequentialPq> {
+    heap: Mutex<P>,
+    /// Key of the heap's current minimum, or [`EMPTY_MIN`]. Updated under
+    /// the lock after every mutation; read lock-free by the two-choice
+    /// deletion.
+    min_key: AtomicU64,
+}
+
+impl<P: SequentialPq + Default> SubQueue<P> {
+    fn new() -> Self {
+        Self {
+            heap: Mutex::new(P::default()),
+            min_key: AtomicU64::new(EMPTY_MIN),
+        }
+    }
+
+    fn publish_min(&self, heap: &P) {
+        let key = heap.peek_min().map_or(EMPTY_MIN, |it| it.key);
+        self.min_key.store(key, Ordering::Release);
+    }
+}
+
+/// The MultiQueue relaxed priority queue, generic over the sequential
+/// substrate (ablation; defaults to the paper's binary heap).
+pub struct MultiQueue<P: SequentialPq + Default + Send = BinaryHeap> {
+    queues: Box<[CachePadded<SubQueue<P>>]>,
+}
+
+impl<P: SequentialPq + Default + Send> MultiQueue<P> {
+    /// Create a MultiQueue with `c * threads` sub-queues (the paper's
+    /// benchmarks use `c = 4`).
+    pub fn new(c: usize, threads: usize) -> Self {
+        let n = (c * threads).max(2);
+        Self {
+            queues: (0..n).map(|_| CachePadded::new(SubQueue::new())).collect(),
+        }
+    }
+
+    /// Number of sub-queues.
+    pub fn sub_queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total items across all sub-queues. Takes every lock; for tests and
+    /// quiescent inspection.
+    pub fn len_quiescent(&self) -> usize {
+        self.queues.iter().map(|q| q.heap.lock().len()).sum()
+    }
+
+    fn insert_impl(&self, key: Key, value: Value, rng: &mut SmallRng) {
+        loop {
+            let idx = rng.gen_range(0..self.queues.len());
+            let q = &self.queues[idx];
+            // Non-blocking: re-roll on contention instead of waiting.
+            if let Some(mut heap) = q.heap.try_lock() {
+                heap.insert(key, value);
+                q.publish_min(&heap);
+                return;
+            }
+        }
+    }
+
+    fn delete_min_impl(&self, rng: &mut SmallRng) -> Option<Item> {
+        let n = self.queues.len();
+        // Two-choice deletions; after several all-empty-looking rounds,
+        // fall back to a full sweep to give a reliable emptiness answer.
+        for _ in 0..2 * n {
+            let a = rng.gen_range(0..n);
+            let b = {
+                let r = rng.gen_range(0..n - 1);
+                if r >= a {
+                    r + 1
+                } else {
+                    r
+                }
+            };
+            let ka = self.queues[a].min_key.load(Ordering::Acquire);
+            let kb = self.queues[b].min_key.load(Ordering::Acquire);
+            let pick = if ka <= kb { a } else { b };
+            if ka.min(kb) == EMPTY_MIN {
+                continue;
+            }
+            let q = &self.queues[pick];
+            let Some(mut heap) = q.heap.try_lock() else {
+                continue;
+            };
+            let item = heap.delete_min();
+            q.publish_min(&heap);
+            drop(heap);
+            if let Some(item) = item {
+                return Some(item);
+            }
+        }
+        // Deterministic sweep: blockingly check each sub-queue once.
+        for q in self.queues.iter() {
+            let mut heap = q.heap.lock();
+            if let Some(item) = heap.delete_min() {
+                q.publish_min(&heap);
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+impl<P: SequentialPq + Default + Send> std::fmt::Debug for MultiQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiQueue")
+            .field("sub_queues", &self.queues.len())
+            .finish()
+    }
+}
+
+/// Per-thread handle for [`MultiQueue`].
+pub struct MultiQueueHandle<'a, P: SequentialPq + Default + Send = BinaryHeap> {
+    q: &'a MultiQueue<P>,
+    rng: SmallRng,
+}
+
+impl<P: SequentialPq + Default + Send> PqHandle for MultiQueueHandle<'_, P> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.q.insert_impl(key, value, &mut self.rng);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        self.q.delete_min_impl(&mut self.rng)
+    }
+}
+
+impl<P: SequentialPq + Default + Send> ConcurrentPq for MultiQueue<P> {
+    type Handle<'a>
+        = MultiQueueHandle<'a, P>
+    where
+        P: 'a;
+
+    fn handle(&self) -> MultiQueueHandle<'_, P> {
+        MultiQueueHandle {
+            q: self,
+            rng: SmallRng::from_entropy(),
+        }
+    }
+
+    fn name(&self) -> String {
+        "multiqueue".to_owned()
+    }
+}
+
+impl<P: SequentialPq + Default + Send> RelaxationBound for MultiQueue<P> {
+    fn rank_bound(&self, _threads: usize) -> Option<u64> {
+        None // no analysed bound (paper: "no complete analysis exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_everything() {
+        let q = MultiQueue::<BinaryHeap>::new(4, 2);
+        let mut h = q.handle();
+        for k in 0..1000u64 {
+            h.insert(k, k);
+        }
+        let mut got: Vec<Key> = std::iter::from_fn(|| h.delete_min()).map(|i| i.key).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn sub_queue_count_is_c_times_p() {
+        assert_eq!(MultiQueue::<BinaryHeap>::new(4, 8).sub_queue_count(), 32);
+        assert_eq!(MultiQueue::<BinaryHeap>::new(2, 3).sub_queue_count(), 6);
+        // Lower bound of 2 so two-choice always has two queues.
+        assert_eq!(MultiQueue::<BinaryHeap>::new(1, 1).sub_queue_count(), 2);
+    }
+
+    #[test]
+    fn returns_small_but_not_necessarily_min() {
+        let q = MultiQueue::<BinaryHeap>::new(4, 1);
+        let mut h = q.handle();
+        for k in 0..100u64 {
+            h.insert(k, k);
+        }
+        // First deletion is among the sub-queue minima: with 4 sub-queues
+        // and uniform spraying it is very likely small but may not be 0.
+        let first = h.delete_min().unwrap();
+        assert!(first.key < 100);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = MultiQueue::<BinaryHeap>::new(4, 2);
+        let mut h = q.handle();
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn single_item_roundtrip() {
+        let q = MultiQueue::<BinaryHeap>::new(4, 4);
+        let mut h = q.handle();
+        h.insert(9, 1);
+        assert_eq!(h.delete_min(), Some(Item::new(9, 1)));
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        use std::sync::atomic::AtomicUsize;
+        let q = std::sync::Arc::new(MultiQueue::<BinaryHeap>::new(4, 4));
+        let deleted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                let deleted = &deleted;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut dels = 0;
+                    for i in 0..8000u64 {
+                        if (i + t) % 2 == 0 {
+                            h.insert((i * 31) % 1000, t * 8000 + i);
+                        } else if h.delete_min().is_some() {
+                            dels += 1;
+                        }
+                    }
+                    deleted.fetch_add(dels, Ordering::Relaxed);
+                });
+            }
+        });
+        let mut h = q.handle();
+        let mut rest = 0;
+        while h.delete_min().is_some() {
+            rest += 1;
+        }
+        assert_eq!(deleted.load(Ordering::Relaxed) + rest, 16000);
+    }
+
+    #[test]
+    fn no_duplicate_values_under_concurrency() {
+        let q = std::sync::Arc::new(MultiQueue::<BinaryHeap>::new(2, 4));
+        {
+            let mut h = q.handle();
+            for v in 0..4000u64 {
+                h.insert(v % 50, v);
+            }
+        }
+        let all = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = &q;
+                let all = &all;
+                s.spawn(move || {
+                    let mut h = q.handle();
+                    let mut mine = Vec::new();
+                    while let Some(it) = h.delete_min() {
+                        mine.push(it.value);
+                    }
+                    all.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let mut vals = all.into_inner().unwrap();
+        assert_eq!(vals.len(), 4000);
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 4000);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_multiset_preserved(keys in proptest::collection::vec(0u64..500, 1..300)) {
+            let q = MultiQueue::<BinaryHeap>::new(4, 2);
+            let mut h = q.handle();
+            for (i, &k) in keys.iter().enumerate() {
+                h.insert(k, i as u64);
+            }
+            let mut got: Vec<Key> = std::iter::from_fn(|| h.delete_min())
+                .map(|i| i.key).collect();
+            got.sort_unstable();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(got, expect);
+        }
+    }
+}

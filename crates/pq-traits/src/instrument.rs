@@ -1,0 +1,210 @@
+//! Instrumentation wrapper: count operations on any concurrent priority
+//! queue without touching its implementation.
+//!
+//! Wraps a [`ConcurrentPq`] and tallies insertions, successful
+//! deletions, and *empty* deletions (a `delete_min` that returned
+//! `None`). Empty deletions are an interesting signal of their own: the
+//! paper's split workload makes deleting threads outrun inserting ones,
+//! and relaxed queues differ in how often they spuriously report empty.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{ConcurrentPq, Item, Key, PqHandle, Value};
+
+/// Aggregate operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Completed insertions.
+    pub inserts: u64,
+    /// Deletions that returned an item.
+    pub deletes: u64,
+    /// Deletions that found the queue (apparently) empty.
+    pub empty_deletes: u64,
+}
+
+impl OpCounts {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.inserts + self.deletes + self.empty_deletes
+    }
+
+    /// Net items that should remain in the queue (inserts − deletes).
+    pub fn net_items(&self) -> i64 {
+        self.inserts as i64 - self.deletes as i64
+    }
+}
+
+/// A queue wrapper that counts operations.
+#[derive(Debug, Default)]
+pub struct Instrumented<Q> {
+    inner: Q,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    empty_deletes: AtomicU64,
+}
+
+impl<Q> Instrumented<Q> {
+    /// Wrap a queue.
+    pub fn new(inner: Q) -> Self {
+        Self {
+            inner,
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            empty_deletes: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped queue.
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
+    /// Snapshot of the counters.
+    pub fn counts(&self) -> OpCounts {
+        OpCounts {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            empty_deletes: self.empty_deletes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset_counts(&self) {
+        self.inserts.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.empty_deletes.store(0, Ordering::Relaxed);
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> Q {
+        self.inner
+    }
+}
+
+/// Handle of an [`Instrumented`] queue.
+pub struct InstrumentedHandle<'a, Q: ConcurrentPq + 'a> {
+    outer: &'a Instrumented<Q>,
+    inner: Q::Handle<'a>,
+}
+
+impl<'a, Q: ConcurrentPq> PqHandle for InstrumentedHandle<'a, Q> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.inner.insert(key, value);
+        self.outer.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        let out = self.inner.delete_min();
+        if out.is_some() {
+            self.outer.deletes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.outer.empty_deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+impl<Q: ConcurrentPq> ConcurrentPq for Instrumented<Q> {
+    type Handle<'a>
+        = InstrumentedHandle<'a, Q>
+    where
+        Q: 'a;
+
+    fn handle(&self) -> InstrumentedHandle<'_, Q> {
+        InstrumentedHandle {
+            outer: self,
+            inner: self.inner.handle(),
+        }
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialPq;
+
+    /// Minimal test double: a mutex-free single-threaded "concurrent"
+    /// queue over a Vec (only used under one handle at a time here).
+    #[derive(Default, Debug)]
+    struct ToyPq {
+        items: std::sync::Mutex<Vec<Item>>,
+    }
+
+    struct ToyHandle<'a>(&'a ToyPq);
+
+    impl PqHandle for ToyHandle<'_> {
+        fn insert(&mut self, key: Key, value: Value) {
+            self.0.items.lock().unwrap().push(Item::new(key, value));
+        }
+
+        fn delete_min(&mut self) -> Option<Item> {
+            let mut v = self.0.items.lock().unwrap();
+            let (idx, _) = v.iter().enumerate().min_by_key(|(_, it)| **it)?;
+            Some(v.swap_remove(idx))
+        }
+    }
+
+    impl ConcurrentPq for ToyPq {
+        type Handle<'a> = ToyHandle<'a>;
+
+        fn handle(&self) -> ToyHandle<'_> {
+            ToyHandle(self)
+        }
+
+        fn name(&self) -> String {
+            "toy".to_owned()
+        }
+    }
+
+    #[test]
+    fn counts_every_operation_kind() {
+        let q = Instrumented::new(ToyPq::default());
+        let mut h = q.handle();
+        h.insert(3, 0);
+        h.insert(1, 1);
+        assert_eq!(h.delete_min().map(|i| i.key), Some(1));
+        assert_eq!(h.delete_min().map(|i| i.key), Some(3));
+        assert_eq!(h.delete_min(), None);
+        let c = q.counts();
+        assert_eq!(
+            c,
+            OpCounts {
+                inserts: 2,
+                deletes: 2,
+                empty_deletes: 1
+            }
+        );
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.net_items(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let q = Instrumented::new(ToyPq::default());
+        let mut h = q.handle();
+        h.insert(1, 1);
+        q.reset_counts();
+        assert_eq!(q.counts(), OpCounts::default());
+        assert_eq!(q.name(), "toy");
+        assert_eq!(q.inner().items.lock().unwrap().len(), 1);
+    }
+
+    /// The toy double's delete must be exact-min for the wrapper tests
+    /// to be meaningful.
+    #[test]
+    fn toy_is_strict() {
+        let q = ToyPq::default();
+        let mut h = q.handle();
+        for k in [5u64, 2, 9] {
+            h.insert(k, k);
+        }
+        assert_eq!(h.delete_min().map(|i| i.key), Some(2));
+    }
+
+    #[allow(dead_code)]
+    fn compiles_with_sequentialpq_too<P: SequentialPq>(_p: P) {}
+}

@@ -1,0 +1,230 @@
+//! Array-based binary min-heap, the analog of C++ `std::priority_queue`.
+//!
+//! Implemented from scratch (rather than wrapping
+//! `std::collections::BinaryHeap<Reverse<Item>>`) so the substrate shared
+//! by GlobalLock and the MultiQueue is identical, fully under test, and
+//! uses min-heap order natively.
+
+use pq_traits::{Item, Key, SequentialPq, Value};
+
+/// Array-based binary min-heap over [`Item`]s.
+#[derive(Clone, Debug, Default)]
+pub struct BinaryHeap {
+    data: Vec<Item>,
+}
+
+impl BinaryHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Create an empty heap with room for `cap` items.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build a heap from arbitrary items in O(n) (Floyd's heapify).
+    pub fn from_items(items: Vec<Item>) -> Self {
+        let mut heap = Self { data: items };
+        if heap.data.len() > 1 {
+            for i in (0..heap.data.len() / 2).rev() {
+                heap.sift_down(i);
+            }
+        }
+        heap
+    }
+
+    /// Iterate over the stored items in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.data.iter()
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i] < self.data[parent] {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let smallest = if r < n && self.data[r] < self.data[l] { r } else { l };
+            if self.data[smallest] < self.data[i] {
+                self.data.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Check the heap invariant; used by tests.
+    #[doc(hidden)]
+    pub fn is_valid_heap(&self) -> bool {
+        (1..self.data.len()).all(|i| self.data[(i - 1) / 2] <= self.data[i])
+    }
+}
+
+impl SequentialPq for BinaryHeap {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.data.push(Item::new(key, value));
+        self.sift_up(self.data.len() - 1);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        let min = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        min
+    }
+
+    fn peek_min(&self) -> Option<Item> {
+        self.data.first().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl FromIterator<Item> for BinaryHeap {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Self {
+        Self::from_items(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_heap_behaviour() {
+        let mut h = BinaryHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.peek_min(), None);
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut h = BinaryHeap::new();
+        h.insert(5, 50);
+        assert_eq!(h.peek_min(), Some(Item::new(5, 50)));
+        assert_eq!(h.delete_min(), Some(Item::new(5, 50)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn returns_sorted_order() {
+        let mut h = BinaryHeap::new();
+        for k in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
+            h.insert(k, k * 10);
+        }
+        let mut out = Vec::new();
+        while let Some(it) = h.delete_min() {
+            out.push(it.key);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let mut h = BinaryHeap::new();
+        for v in 0..100 {
+            h.insert(7, v);
+        }
+        let mut vals: Vec<_> = std::iter::from_fn(|| h.delete_min()).map(|i| i.value).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_items_heapifies() {
+        let items: Vec<Item> = (0..64).rev().map(|k| Item::new(k, 0)).collect();
+        let h = BinaryHeap::from_items(items);
+        assert!(h.is_valid_heap());
+        assert_eq!(h.peek_min(), Some(Item::new(0, 0)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h: BinaryHeap = (0..10).map(|k| Item::new(k, 0)).collect();
+        h.clear();
+        assert!(h.is_empty());
+        h.insert(1, 1);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_maintains_invariant() {
+        let mut h = BinaryHeap::new();
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for i in 0..1000 {
+            if i % 3 == 2 {
+                h.delete_min();
+            } else {
+                h.insert(next() % 100, i);
+            }
+            assert!(h.is_valid_heap());
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_sorted_vec(keys in proptest::collection::vec(0u64..1000, 0..200)) {
+            let mut h = BinaryHeap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                h.insert(k, i as u64);
+            }
+            let mut expect: Vec<Item> =
+                keys.iter().enumerate().map(|(i, &k)| Item::new(k, i as u64)).collect();
+            expect.sort();
+            let got: Vec<Item> = std::iter::from_fn(|| h.delete_min()).collect();
+            proptest::prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn prop_peek_equals_next_delete(keys in proptest::collection::vec(0u64..50, 1..100)) {
+            let mut h = BinaryHeap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                h.insert(k, i as u64);
+            }
+            while let Some(p) = h.peek_min() {
+                proptest::prop_assert_eq!(h.delete_min(), Some(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Order-statistic treap: the "specialized sequential priority queue" of
+//! the paper's quality benchmark (appendix F).
+//!
+//! The rank-error benchmark replays a linearized log of insert/delete
+//! operations. For every replayed deletion it must answer: *what was the
+//! rank of the deleted item among the items present at that moment?* —
+//! i.e. how many live items compare strictly smaller. A treap augmented
+//! with subtree sizes answers that in O(log n) while supporting deletion
+//! of an *arbitrary* item (relaxed queues do not delete the minimum!).
+//!
+//! Nodes are arena-allocated and index-linked; heap priorities come from a
+//! deterministic xorshift generator, making replays reproducible.
+
+use pq_traits::{Item, Key, SequentialPq, Value};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    item: Item,
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Subtree size. Doubles as free-list link (in `left`) when vacant.
+    size: u32,
+}
+
+/// Treap over [`Item`]s (ordered by key, then value) with subtree sizes.
+#[derive(Clone, Debug)]
+pub struct OsTreap {
+    nodes: Vec<Node>,
+    root: u32,
+    free: u32,
+    rng: u64,
+}
+
+impl Default for OsTreap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OsTreap {
+    /// Create an empty treap.
+    pub fn new() -> Self {
+        Self::with_seed(0x853c49e6748fea9b)
+    }
+
+    /// Create an empty treap with a specific priority seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            free: NIL,
+            rng: seed | 1,
+        }
+    }
+
+    #[inline]
+    fn next_prio(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, n: u32) {
+        let l = self.size(self.nodes[n as usize].left);
+        let r = self.size(self.nodes[n as usize].right);
+        self.nodes[n as usize].size = l + r + 1;
+    }
+
+    fn alloc(&mut self, item: Item) -> u32 {
+        let prio = self.next_prio();
+        let node = Node {
+            item,
+            prio,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].left;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "treap capacity exceeded");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize].left = self.free;
+        self.free = idx;
+    }
+
+    /// Split by item: everything `< item` goes left, `>= item` right.
+    fn split(&mut self, n: u32, item: &Item) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[n as usize].item < *item {
+            let (l, r) = {
+                let right = self.nodes[n as usize].right;
+                self.split(right, item)
+            };
+            self.nodes[n as usize].right = l;
+            self.update(n);
+            (n, r)
+        } else {
+            let (l, r) = {
+                let left = self.nodes[n as usize].left;
+                self.split(left, item)
+            };
+            self.nodes[n as usize].left = r;
+            self.update(n);
+            (l, n)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Insert an item. Duplicate `(key, value)` pairs are allowed and
+    /// stored separately (the quality log tags every insert with a unique
+    /// value, but the structure itself does not rely on that).
+    pub fn insert_item(&mut self, item: Item) {
+        let idx = self.alloc(item);
+        let (l, r) = self.split(self.root, &item);
+        let lr = self.merge(l, idx);
+        self.root = self.merge(lr, r);
+    }
+
+    /// Number of live items strictly smaller than `item`.
+    pub fn rank_of(&self, item: &Item) -> u64 {
+        let mut n = self.root;
+        let mut rank = 0u64;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.item < *item {
+                rank += u64::from(self.size(node.left)) + 1;
+                n = node.right;
+            } else {
+                n = node.left;
+            }
+        }
+        rank
+    }
+
+    /// Remove a specific item, returning its 0-based rank at removal time,
+    /// or `None` if the item is not present. If several equal items are
+    /// stored, one of them is removed.
+    pub fn remove_item(&mut self, item: &Item) -> Option<u64> {
+        let rank = self.rank_of(item);
+        let removed = self.remove_rec(self.root, item);
+        match removed {
+            Some(new_root) => {
+                self.root = new_root;
+                Some(rank)
+            }
+            None => None,
+        }
+    }
+
+    /// Remove `item` from subtree `n`; returns the new subtree root on
+    /// success, `None` if not found.
+    fn remove_rec(&mut self, n: u32, item: &Item) -> Option<u32> {
+        if n == NIL {
+            return None;
+        }
+        let node_item = self.nodes[n as usize].item;
+        if node_item == *item {
+            let l = self.nodes[n as usize].left;
+            let r = self.nodes[n as usize].right;
+            let m = self.merge(l, r);
+            self.release(n);
+            Some(m)
+        } else if *item < node_item {
+            let left = self.nodes[n as usize].left;
+            let new_left = self.remove_rec(left, item)?;
+            self.nodes[n as usize].left = new_left;
+            self.update(n);
+            Some(n)
+        } else {
+            let right = self.nodes[n as usize].right;
+            let new_right = self.remove_rec(right, item)?;
+            self.nodes[n as usize].right = new_right;
+            self.update(n);
+            Some(n)
+        }
+    }
+
+    /// The k-th smallest live item (0-based), or `None` if out of range.
+    pub fn select(&self, mut k: u64) -> Option<Item> {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            let ls = u64::from(self.size(node.left));
+            if k < ls {
+                n = node.left;
+            } else if k == ls {
+                return Some(node.item);
+            } else {
+                k -= ls + 1;
+                n = node.right;
+            }
+        }
+        None
+    }
+
+    /// `true` if an equal item is stored.
+    pub fn contains(&self, item: &Item) -> bool {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.item == *item {
+                return true;
+            }
+            n = if *item < node.item { node.left } else { node.right };
+        }
+        false
+    }
+
+    /// Verify BST order, heap priorities and size augmentation; O(n),
+    /// tests only.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        fn rec(t: &OsTreap, n: u32, lo: Option<Item>, hi: Option<Item>) -> Option<u32> {
+            if n == NIL {
+                return Some(0);
+            }
+            let node = &t.nodes[n as usize];
+            if lo.is_some_and(|lo| node.item <= lo) || hi.is_some_and(|hi| node.item >= hi) {
+                return None;
+            }
+            for c in [node.left, node.right] {
+                if c != NIL && t.nodes[c as usize].prio > node.prio {
+                    return None;
+                }
+            }
+            let ls = rec(t, node.left, lo, Some(node.item))?;
+            let rs = rec(t, node.right, Some(node.item), hi)?;
+            (ls + rs + 1 == node.size).then_some(node.size)
+        }
+        rec(self, self.root, None, None).is_some()
+    }
+}
+
+impl SequentialPq for OsTreap {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.insert_item(Item::new(key, value));
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        let min = self.select(0)?;
+        self.remove_item(&min);
+        Some(min)
+    }
+
+    fn peek_min(&self) -> Option<Item> {
+        self.select(0)
+    }
+
+    fn len(&self) -> usize {
+        self.size(self.root) as usize
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.root = NIL;
+        self.free = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let mut t = OsTreap::new();
+        assert!(t.is_empty());
+        assert_eq!(t.delete_min(), None);
+        assert_eq!(t.select(0), None);
+        assert_eq!(t.remove_item(&Item::new(1, 1)), None);
+    }
+
+    #[test]
+    fn rank_of_min_is_zero() {
+        let mut t = OsTreap::new();
+        for k in [5u64, 2, 9, 1, 7] {
+            t.insert(k, 0);
+        }
+        assert_eq!(t.rank_of(&Item::new(1, 0)), 0);
+        assert_eq!(t.remove_item(&Item::new(1, 0)), Some(0));
+        assert_eq!(t.rank_of(&Item::new(2, 0)), 0);
+    }
+
+    #[test]
+    fn rank_of_arbitrary_items() {
+        let mut t = OsTreap::new();
+        for k in 0..10u64 {
+            t.insert(k * 10, k);
+        }
+        // Items: (0,0),(10,1),...,(90,9)
+        assert_eq!(t.remove_item(&Item::new(50, 5)), Some(5));
+        // After removing rank 5, item (90,9) drops to rank 8.
+        assert_eq!(t.remove_item(&Item::new(90, 9)), Some(8));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn select_returns_kth() {
+        let mut t = OsTreap::new();
+        for k in [30u64, 10, 20, 50, 40] {
+            t.insert(k, 0);
+        }
+        for (i, expect) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            assert_eq!(t.select(i as u64), Some(Item::new(*expect, 0)));
+        }
+        assert_eq!(t.select(5), None);
+    }
+
+    #[test]
+    fn duplicate_keys_distinct_values() {
+        let mut t = OsTreap::new();
+        for v in 0..5u64 {
+            t.insert(7, v);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.remove_item(&Item::new(7, 3)), Some(3));
+        assert!(!t.contains(&Item::new(7, 3)));
+        assert!(t.contains(&Item::new(7, 4)));
+    }
+
+    #[test]
+    fn delete_min_is_sorted() {
+        let mut t = OsTreap::new();
+        let keys = [44u64, 2, 99, 17, 56, 3, 71, 23, 8, 61];
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        let mut out: Vec<Key> = Vec::new();
+        while let Some(it) = t.delete_min() {
+            out.push(it.key);
+        }
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn arena_reuses_freed_nodes() {
+        let mut t = OsTreap::new();
+        for k in 0..50u64 {
+            t.insert(k, 0);
+        }
+        for _ in 0..50 {
+            t.delete_min();
+        }
+        let arena = t.nodes.len();
+        for k in 0..50u64 {
+            t.insert(k, 1);
+        }
+        assert_eq!(t.nodes.len(), arena);
+        assert!(t.check_invariants());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_invariants_under_mixed_ops(
+            ops in proptest::collection::vec((0u8..3, 0u64..64), 0..300)
+        ) {
+            let mut t = OsTreap::new();
+            let mut model: Vec<Item> = Vec::new();
+            for (i, &(op, k)) in ops.iter().enumerate() {
+                match op {
+                    0 | 1 => {
+                        let it = Item::new(k, i as u64);
+                        t.insert_item(it);
+                        model.push(it);
+                        model.sort();
+                    }
+                    _ => {
+                        if !model.is_empty() {
+                            let victim = model[(k as usize) % model.len()];
+                            let expect_rank = model.iter().position(|x| *x == victim).unwrap();
+                            let got = t.remove_item(&victim);
+                            proptest::prop_assert_eq!(got, Some(expect_rank as u64));
+                            model.retain(|x| *x != victim);
+                        }
+                    }
+                }
+                proptest::prop_assert!(t.check_invariants());
+                proptest::prop_assert_eq!(t.len(), model.len());
+            }
+        }
+
+        #[test]
+        fn prop_rank_matches_model(keys in proptest::collection::vec(0u64..100, 1..150)) {
+            let mut t = OsTreap::new();
+            let mut model: Vec<Item> = Vec::new();
+            for (i, &k) in keys.iter().enumerate() {
+                let it = Item::new(k, i as u64);
+                t.insert_item(it);
+                model.push(it);
+            }
+            model.sort();
+            for (rank, it) in model.iter().enumerate() {
+                proptest::prop_assert_eq!(t.rank_of(it), rank as u64);
+                proptest::prop_assert_eq!(t.select(rank as u64), Some(*it));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Configurable benchmark workloads — the paper's actual contribution.
+//!
+//! Appendix F sketches a Synchrobench-style parameterized benchmark with
+//! orthogonal knobs; this crate implements them:
+//!
+//! * **Workload** — the fraction of threads inserting vs deleting:
+//!   `uniform` (every thread mixes 50/50 at random), `split` (half the
+//!   threads only insert, half only delete), `alternating` (every thread
+//!   strictly alternates insert/delete).
+//! * **Key distribution** — `uniform` over an 8/16/32-bit base range,
+//!   or `ascending`/`descending` where a small random base key is shifted
+//!   by the operation number, plus the `hold`-model dependency (Jones
+//!   1986) where the next key depends on the last deleted key.
+//! * **Operation distribution** — probability of an operation being an
+//!   insert (default 50 % so the queue stays in steady state), or strict
+//!   batch alternation.
+//! * **Prefill** — number of items inserted before measurement starts
+//!   (paper: 10⁶), drawn from the configured distribution.
+//!
+//! Everything is deterministic given a seed, so throughput and quality
+//! runs are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod keys;
+pub mod ops;
+
+pub use config::{BenchConfig, Workload};
+pub use keys::{KeyDependency, KeyDistribution, KeyGen, KeyShape};
+pub use ops::{OpKind, OpStream, ThreadRole};

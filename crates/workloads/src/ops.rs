@@ -1,0 +1,226 @@
+//! Operation streams: which operation does a thread perform next?
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Workload;
+
+/// A single benchmark operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert a freshly generated key.
+    Insert,
+    /// Delete-min.
+    DeleteMin,
+}
+
+/// The operation mix assigned to one thread by the workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThreadRole {
+    /// Insert with probability `insert_prob`, delete otherwise.
+    Mixed {
+        /// Probability of an operation being an insert.
+        insert_prob: f64,
+    },
+    /// Only insertions.
+    InserterOnly,
+    /// Only deletions.
+    DeleterOnly,
+    /// Strictly alternate insert, delete, insert, ...
+    Alternating,
+    /// Alternate *batches*: `batch` insertions, then `batch` deletions
+    /// (appendix F: "an operation batch size can be set to alternate
+    /// between batches of insertions and deletions"; large batches
+    /// correspond to the sorting benchmark of Larkin, Sen and Tarjan).
+    Batched {
+        /// Operations per batch.
+        batch: u64,
+    },
+}
+
+impl ThreadRole {
+    /// The role workload `w` assigns to thread `thread` of `threads`.
+    ///
+    /// For `split`, the first ⌈P/2⌉ threads insert and the rest delete,
+    /// as in the paper ("half the threads perform only insertions, and
+    /// the other half only deletions").
+    pub fn for_thread(w: Workload, thread: usize, threads: usize) -> Self {
+        match w {
+            Workload::Uniform => ThreadRole::Mixed { insert_prob: 0.5 },
+            Workload::Split => {
+                if thread < threads.div_ceil(2) {
+                    ThreadRole::InserterOnly
+                } else {
+                    ThreadRole::DeleterOnly
+                }
+            }
+            Workload::Alternating => ThreadRole::Alternating,
+            Workload::Biased { insert_permille } => ThreadRole::Mixed {
+                insert_prob: f64::from(insert_permille.min(1000)) / 1000.0,
+            },
+            Workload::Sorting { batch } => ThreadRole::Batched { batch },
+        }
+    }
+}
+
+/// Deterministic per-thread operation stream.
+#[derive(Clone, Debug)]
+pub struct OpStream {
+    role: ThreadRole,
+    rng: SmallRng,
+    counter: u64,
+}
+
+impl OpStream {
+    /// Stream for `role` seeded by (`seed`, `thread`).
+    pub fn new(role: ThreadRole, seed: u64, thread: u64) -> Self {
+        Self {
+            role,
+            rng: SmallRng::seed_from_u64(
+                seed ^ 0xD1B54A32D192ED03u64.wrapping_mul(thread.wrapping_add(1)),
+            ),
+            counter: 0,
+        }
+    }
+
+    /// The next operation this thread should perform.
+    #[inline]
+    pub fn next_op(&mut self) -> OpKind {
+        let c = self.counter;
+        self.counter += 1;
+        match self.role {
+            ThreadRole::Mixed { insert_prob } => {
+                if self.rng.gen_bool(insert_prob) {
+                    OpKind::Insert
+                } else {
+                    OpKind::DeleteMin
+                }
+            }
+            ThreadRole::InserterOnly => OpKind::Insert,
+            ThreadRole::DeleterOnly => OpKind::DeleteMin,
+            ThreadRole::Alternating => {
+                if c % 2 == 0 {
+                    OpKind::Insert
+                } else {
+                    OpKind::DeleteMin
+                }
+            }
+            ThreadRole::Batched { batch } => {
+                if (c / batch.max(1)) % 2 == 0 {
+                    OpKind::Insert
+                } else {
+                    OpKind::DeleteMin
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_role_is_mixed_for_all() {
+        for t in 0..8 {
+            assert_eq!(
+                ThreadRole::for_thread(Workload::Uniform, t, 8),
+                ThreadRole::Mixed { insert_prob: 0.5 }
+            );
+        }
+    }
+
+    #[test]
+    fn split_role_halves_threads() {
+        let roles: Vec<_> = (0..4)
+            .map(|t| ThreadRole::for_thread(Workload::Split, t, 4))
+            .collect();
+        assert_eq!(roles[0], ThreadRole::InserterOnly);
+        assert_eq!(roles[1], ThreadRole::InserterOnly);
+        assert_eq!(roles[2], ThreadRole::DeleterOnly);
+        assert_eq!(roles[3], ThreadRole::DeleterOnly);
+    }
+
+    #[test]
+    fn split_odd_thread_count_rounds_up_inserters() {
+        let roles: Vec<_> = (0..3)
+            .map(|t| ThreadRole::for_thread(Workload::Split, t, 3))
+            .collect();
+        assert_eq!(roles[0], ThreadRole::InserterOnly);
+        assert_eq!(roles[1], ThreadRole::InserterOnly);
+        assert_eq!(roles[2], ThreadRole::DeleterOnly);
+    }
+
+    #[test]
+    fn single_thread_split_still_inserts() {
+        assert_eq!(
+            ThreadRole::for_thread(Workload::Split, 0, 1),
+            ThreadRole::InserterOnly
+        );
+    }
+
+    #[test]
+    fn alternating_strictly_alternates() {
+        let mut s = OpStream::new(ThreadRole::Alternating, 1, 0);
+        for i in 0..100 {
+            let expect = if i % 2 == 0 {
+                OpKind::Insert
+            } else {
+                OpKind::DeleteMin
+            };
+            assert_eq!(s.next_op(), expect);
+        }
+    }
+
+    #[test]
+    fn mixed_is_roughly_half_and_half() {
+        let mut s = OpStream::new(ThreadRole::Mixed { insert_prob: 0.5 }, 9, 1);
+        let inserts = (0..10_000).filter(|_| s.next_op() == OpKind::Insert).count();
+        assert!((4500..5500).contains(&inserts), "{inserts} inserts of 10000");
+    }
+
+    #[test]
+    fn biased_workload_respects_probability() {
+        let role = ThreadRole::for_thread(Workload::Biased { insert_permille: 900 }, 0, 4);
+        assert_eq!(role, ThreadRole::Mixed { insert_prob: 0.9 });
+        let mut s = OpStream::new(role, 3, 0);
+        let inserts = (0..10_000).filter(|_| s.next_op() == OpKind::Insert).count();
+        assert!((8700..9300).contains(&inserts), "{inserts} inserts of 10000");
+    }
+
+    #[test]
+    fn sorting_workload_batches() {
+        let role = ThreadRole::for_thread(Workload::Sorting { batch: 4 }, 2, 4);
+        assert_eq!(role, ThreadRole::Batched { batch: 4 });
+        let mut s = OpStream::new(role, 3, 0);
+        let ops: Vec<OpKind> = (0..16).map(|_| s.next_op()).collect();
+        let expect: Vec<OpKind> = [OpKind::Insert; 4]
+            .into_iter()
+            .chain([OpKind::DeleteMin; 4])
+            .chain([OpKind::Insert; 4])
+            .chain([OpKind::DeleteMin; 4])
+            .collect();
+        assert_eq!(ops, expect);
+    }
+
+    #[test]
+    fn batched_zero_batch_is_safe() {
+        let mut s = OpStream::new(ThreadRole::Batched { batch: 0 }, 1, 0);
+        // batch 0 clamps to 1: strict alternation.
+        assert_eq!(s.next_op(), OpKind::Insert);
+        assert_eq!(s.next_op(), OpKind::DeleteMin);
+    }
+
+    #[test]
+    fn streams_deterministic() {
+        let a: Vec<OpKind> = {
+            let mut s = OpStream::new(ThreadRole::Mixed { insert_prob: 0.5 }, 5, 2);
+            (0..64).map(|_| s.next_op()).collect()
+        };
+        let b: Vec<OpKind> = {
+            let mut s = OpStream::new(ThreadRole::Mixed { insert_prob: 0.5 }, 5, 2);
+            (0..64).map(|_| s.next_op()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

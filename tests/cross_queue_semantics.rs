@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: every queue in the registry satisfies
+//! the basic priority-queue contract through the shared trait interface.
+
+use harness::{with_queue, QueueSpec};
+use pq_traits::{ConcurrentPq, Item, PqHandle};
+
+fn all_specs() -> Vec<QueueSpec> {
+    vec![
+        QueueSpec::Klsm(16),
+        QueueSpec::Klsm(128),
+        QueueSpec::Klsm(4096),
+        QueueSpec::Dlsm,
+        QueueSpec::Slsm(32),
+        QueueSpec::Linden,
+        QueueSpec::Spray,
+        QueueSpec::MultiQueue(4),
+        QueueSpec::GlobalLock,
+        QueueSpec::Hunt,
+        QueueSpec::Mound,
+        QueueSpec::Cbpq,
+    ]
+}
+
+#[test]
+fn empty_queue_returns_none_everywhere() {
+    for spec in all_specs() {
+        with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            assert_eq!(h.delete_min(), None, "{spec}");
+        });
+    }
+}
+
+#[test]
+fn multiset_preserved_sequentially() {
+    let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % 4096).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    for spec in all_specs() {
+        let mut got = with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            for (i, &k) in keys.iter().enumerate() {
+                h.insert(k, i as u64);
+            }
+            let mut out: Vec<u64> = Vec::new();
+            while let Some(it) = h.delete_min() {
+                out.push(it.key);
+            }
+            out
+        });
+        got.sort_unstable();
+        assert_eq!(got, expect, "{spec} lost or duplicated items");
+    }
+}
+
+#[test]
+fn values_travel_with_keys() {
+    for spec in all_specs() {
+        with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            for k in 0..100u64 {
+                h.insert(k, k * 1000 + 7);
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some(Item { key, value }) = h.delete_min() {
+                assert_eq!(value, key * 1000 + 7, "{spec} mixed up a value");
+                assert!(seen.insert(value), "{spec} duplicated value {value}");
+            }
+            assert_eq!(seen.len(), 100, "{spec}");
+        });
+    }
+}
+
+#[test]
+fn strict_queues_return_exact_minimum_sequentially() {
+    for spec in [
+        QueueSpec::Linden,
+        QueueSpec::GlobalLock,
+        QueueSpec::Hunt,
+        QueueSpec::Mound,
+        QueueSpec::Cbpq,
+    ] {
+        with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            let keys = [44u64, 2, 99, 17, 56, 3, 71, 23, 8, 61];
+            for (i, &k) in keys.iter().enumerate() {
+                h.insert(k, i as u64);
+            }
+            let mut sorted = keys.to_vec();
+            sorted.sort_unstable();
+            for want in sorted {
+                assert_eq!(h.delete_min().map(|i| i.key), Some(want), "{spec}");
+            }
+        });
+    }
+}
+
+#[test]
+fn names_match_registry() {
+    for spec in all_specs() {
+        let name = with_queue!(spec, 1, q => q.name());
+        assert_eq!(name, spec.name(), "queue self-name diverges from registry");
+    }
+}
+
+#[test]
+fn reinsertion_after_drain_works() {
+    for spec in all_specs() {
+        with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            for round in 0..3 {
+                for k in 0..200u64 {
+                    h.insert(k, round * 200 + k);
+                }
+                let mut n = 0;
+                while h.delete_min().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 200, "{spec} round {round}");
+            }
+        });
+    }
+}
+
+#[test]
+fn duplicate_keys_handled_everywhere() {
+    for spec in all_specs() {
+        with_queue!(spec, 1, q => {
+            let mut h = q.handle();
+            for v in 0..500u64 {
+                h.insert(42, v);
+            }
+            let mut vals: Vec<u64> = Vec::new();
+            while let Some(it) = h.delete_min() {
+                assert_eq!(it.key, 42);
+                vals.push(it.value);
+            }
+            vals.sort_unstable();
+            assert_eq!(vals, (0..500).collect::<Vec<_>>(), "{spec}");
+        });
+    }
+}

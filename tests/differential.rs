@@ -1,0 +1,138 @@
+//! Differential testing: every queue against a reference model on
+//! randomized operation sequences (single-handle, so outcomes are
+//! deterministic per queue semantics).
+//!
+//! * Multiset equivalence holds for *all* queues: the set of (key,
+//!   value) pairs returned across the whole run equals the set
+//!   inserted.
+//! * Strict queues additionally match the reference heap's exact key
+//!   sequence, operation by operation.
+
+use harness::{with_queue, QueueSpec};
+use pq_traits::{ConcurrentPq, Item, PqHandle};
+use proptest::prelude::*;
+
+fn strict_specs() -> Vec<QueueSpec> {
+    vec![
+        QueueSpec::Linden,
+        QueueSpec::GlobalLock,
+        QueueSpec::GlobalLockPairing,
+        QueueSpec::Hunt,
+        QueueSpec::Mound,
+        QueueSpec::Cbpq,
+    ]
+}
+
+fn relaxed_specs() -> Vec<QueueSpec> {
+    vec![
+        QueueSpec::Klsm(16),
+        QueueSpec::Klsm(256),
+        QueueSpec::Dlsm,
+        QueueSpec::Slsm(32),
+        QueueSpec::Spray,
+        QueueSpec::MultiQueue(4),
+        QueueSpec::MultiQueuePairing(2),
+    ]
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u64),
+    Delete,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4096).prop_map(Op::Insert),
+        Just(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn strict_queues_match_reference_exactly(
+        ops in proptest::collection::vec(op_strategy(), 0..300)
+    ) {
+        for spec in strict_specs() {
+            with_queue!(spec, 1, q => {
+                let mut h = q.handle();
+                let mut model = std::collections::BinaryHeap::new();
+                for (i, op) in ops.iter().enumerate() {
+                    match *op {
+                        Op::Insert(k) => {
+                            h.insert(k, i as u64);
+                            model.push(std::cmp::Reverse(k));
+                        }
+                        Op::Delete => {
+                            let got = h.delete_min().map(|it| it.key);
+                            let expect = model.pop().map(|std::cmp::Reverse(k)| k);
+                            prop_assert_eq!(got, expect, "{} diverged at op {}", spec, i);
+                        }
+                    }
+                }
+                Ok::<(), proptest::test_runner::TestCaseError>(())
+            })?;
+        }
+    }
+
+    #[test]
+    fn all_queues_preserve_the_multiset(
+        ops in proptest::collection::vec(op_strategy(), 0..300)
+    ) {
+        for spec in strict_specs().into_iter().chain(relaxed_specs()) {
+            with_queue!(spec, 1, q => {
+                let mut h = q.handle();
+                let mut inserted: Vec<Item> = Vec::new();
+                let mut returned: Vec<Item> = Vec::new();
+                for (i, op) in ops.iter().enumerate() {
+                    match *op {
+                        Op::Insert(k) => {
+                            h.insert(k, i as u64);
+                            inserted.push(Item::new(k, i as u64));
+                        }
+                        Op::Delete => {
+                            if let Some(it) = h.delete_min() {
+                                returned.push(it);
+                            }
+                        }
+                    }
+                }
+                while let Some(it) = h.delete_min() {
+                    returned.push(it);
+                }
+                inserted.sort();
+                returned.sort();
+                prop_assert_eq!(&inserted, &returned, "{} lost/duplicated items", spec);
+                Ok::<(), proptest::test_runner::TestCaseError>(())
+            })?;
+        }
+    }
+
+    #[test]
+    fn relaxed_queues_never_return_phantom_items(
+        keys in proptest::collection::vec(0u64..100, 1..100)
+    ) {
+        for spec in relaxed_specs() {
+            with_queue!(spec, 1, q => {
+                let mut h = q.handle();
+                let mut live: std::collections::HashSet<Item> = std::collections::HashSet::new();
+                for (i, &k) in keys.iter().enumerate() {
+                    h.insert(k, i as u64);
+                    live.insert(Item::new(k, i as u64));
+                }
+                while let Some(it) = h.delete_min() {
+                    prop_assert!(
+                        live.remove(&it),
+                        "{} returned item never inserted (or twice): {:?}",
+                        spec,
+                        it
+                    );
+                }
+                prop_assert!(live.is_empty(), "{} kept items back", spec);
+                Ok::<(), proptest::test_runner::TestCaseError>(())
+            })?;
+        }
+    }
+}

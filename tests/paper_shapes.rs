@@ -1,0 +1,175 @@
+//! Reproduction gates: the paper's most robust *qualitative* findings,
+//! asserted on quick runs with generous margins. These are the claims
+//! EXPERIMENTS.md reports as reproduced; if a refactor breaks one of
+//! them, the reproduction story breaks with it.
+//!
+//! Margins are deliberately loose (2× where the measured effects are
+//! 5–10×) because the host time-slices threads and CI machines are
+//! noisy; each test also averages several repetitions.
+
+use std::time::Duration;
+
+use harness::{run_quality, run_throughput, QueueSpec};
+use workloads::config::StopCondition;
+use workloads::{BenchConfig, KeyDistribution, Workload};
+
+/// Relative-throughput assertions are meaningless in unoptimized builds
+/// (debug overhead distorts per-queue constant factors); run these gates
+/// with `cargo test --release`.
+macro_rules! release_only {
+    () => {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: throughput-shape gate requires --release");
+            return;
+        }
+    };
+}
+
+fn cfg(workload: Workload, key_dist: KeyDistribution, threads: usize) -> BenchConfig {
+    BenchConfig {
+        threads,
+        workload,
+        key_dist,
+        prefill: 30_000,
+        stop: StopCondition::Duration(Duration::from_millis(80)),
+        reps: 4,
+        seed: 0x5AFE,
+    }
+}
+
+fn mops(spec: QueueSpec, c: &BenchConfig) -> f64 {
+    run_throughput(spec, c).mops()
+}
+
+/// Figure 2 / 4d–e: "the Lindén and Jonsson priority queue has
+/// drastically improved scalability when using a combination of split
+/// workload and ascending key distribution" — its split throughput
+/// dwarfs its uniform-workload throughput (we measure ≈ 7–10×; gate 2×).
+#[test]
+fn linden_thrives_under_split_workload() {
+    release_only!();
+    let uniform = mops(
+        QueueSpec::Linden,
+        &cfg(Workload::Uniform, KeyDistribution::uniform(32), 2),
+    );
+    let split = mops(
+        QueueSpec::Linden,
+        &cfg(Workload::Split, KeyDistribution::ascending(), 2),
+    );
+    assert!(
+        split > uniform * 2.0,
+        "linden split ({split:.2}) not ≫ uniform ({uniform:.2}) MOps/s"
+    );
+}
+
+/// Figure 4c: "descending keys cause a performance increase for the
+/// k-LSM" — descending inserts stay in the thread-local DLSM.
+#[test]
+fn klsm_prefers_descending_keys() {
+    release_only!();
+    let uniform = mops(
+        QueueSpec::Klsm(128),
+        &cfg(Workload::Uniform, KeyDistribution::uniform(32), 2),
+    );
+    let descending = mops(
+        QueueSpec::Klsm(128),
+        &cfg(Workload::Uniform, KeyDistribution::descending(), 2),
+    );
+    assert!(
+        descending > uniform * 1.15,
+        "klsm128 descending ({descending:.2}) not above uniform ({uniform:.2}) MOps/s"
+    );
+}
+
+/// Figure 1 vs the strict competitors: the k-LSM's medium-relaxation
+/// variants beat the strict lock-free queues under uniform/uniform on
+/// every machine in the paper (and on this host).
+#[test]
+fn klsm_beats_strict_lockfree_queues_uniform_uniform() {
+    release_only!();
+    let c = cfg(Workload::Uniform, KeyDistribution::uniform(32), 2);
+    let klsm = mops(QueueSpec::Klsm(128), &c);
+    let linden = mops(QueueSpec::Linden, &c);
+    let spray = mops(QueueSpec::Spray, &c);
+    assert!(
+        klsm > linden && klsm > spray,
+        "klsm128 ({klsm:.2}) not above linden ({linden:.2}) / spray ({spray:.2})"
+    );
+}
+
+/// "Overall, [the MultiQueue] delivers the most consistent performance":
+/// its worst grid cell stays within a small factor of its best, unlike
+/// the k-LSM whose best/worst ratio is large.
+#[test]
+fn multiqueue_is_the_consistent_one() {
+    release_only!();
+    let cells = [
+        cfg(Workload::Uniform, KeyDistribution::uniform(32), 2),
+        cfg(Workload::Split, KeyDistribution::ascending(), 2),
+        cfg(Workload::Uniform, KeyDistribution::uniform(8), 2),
+        cfg(Workload::Alternating, KeyDistribution::descending(), 2),
+    ];
+    let ratio = |spec: QueueSpec| {
+        let ms: Vec<f64> = cells.iter().map(|c| mops(spec, c)).collect();
+        let best = ms.iter().cloned().fold(0.0f64, f64::max);
+        let worst = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        best / worst.max(1e-9)
+    };
+    let mq = ratio(QueueSpec::MultiQueue(4));
+    assert!(
+        mq < 6.0,
+        "multiqueue best/worst ratio {mq:.1} — not consistent"
+    );
+}
+
+/// Table 1: the k-LSM's measured relaxation is far below kP, and more
+/// relaxation (larger k) means larger measured rank error.
+#[test]
+fn rank_error_ordering_matches_table1() {
+    let c = BenchConfig {
+        threads: 2,
+        workload: Workload::Uniform,
+        key_dist: KeyDistribution::uniform(32),
+        prefill: 30_000,
+        stop: StopCondition::OpsPerThread(15_000),
+        reps: 1,
+        seed: 0x5AFE,
+    };
+    let r128 = run_quality(QueueSpec::Klsm(128), &c);
+    let r4096 = run_quality(QueueSpec::Klsm(4096), &c);
+    let linden = run_quality(QueueSpec::Linden, &c);
+    assert!(linden.rank.mean < 1.0, "linden rank {}", linden.rank.mean);
+    assert!(
+        r128.rank.mean < 256.0,
+        "klsm128 rank {} ≥ bound",
+        r128.rank.mean
+    );
+    assert!(
+        r4096.rank.mean > r128.rank.mean * 2.0,
+        "klsm4096 ({}) not clearly more relaxed than klsm128 ({})",
+        r4096.rank.mean,
+        r128.rank.mean
+    );
+    assert!(
+        r4096.rank.mean < 8192.0,
+        "klsm4096 rank {} ≥ bound",
+        r4096.rank.mean
+    );
+}
+
+/// GlobalLock is the 1-thread champion in the paper's figures; on a
+/// time-sliced host it must at least beat every lock-free queue at one
+/// thread (no contention, minimal constant factors).
+#[test]
+fn globallock_wins_at_one_thread() {
+    release_only!();
+    let c = cfg(Workload::Uniform, KeyDistribution::uniform(32), 1);
+    let gl = mops(QueueSpec::GlobalLock, &c);
+    for spec in [QueueSpec::Linden, QueueSpec::Spray, QueueSpec::Klsm(4096)] {
+        let other = mops(spec, &c);
+        assert!(
+            gl > other,
+            "globallock ({gl:.2}) beaten by {spec} ({other:.2}) at 1 thread"
+        );
+    }
+}
