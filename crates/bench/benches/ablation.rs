@@ -93,5 +93,25 @@ fn main() {
     }
     group.finish();
 
+    // Stickiness/buffering ablation: plain MultiQueue against the
+    // mq-sticky grid (s ∈ {1, 8, 64} × m ∈ {1, 16}) on the three
+    // workload shapes where buffering behaves differently — uniform
+    // mixes (fig4a), insert/delete thread splits (fig4e, where deletion
+    // buffers on delete-only threads matter most), and alternating
+    // phases (fig8a, which flushes insertion buffers right before the
+    // deletion burst).
+    for (exp_id, seed) in [("fig4a", 0xA6u64), ("fig4e", 0xA7), ("fig8a", 0xA8)] {
+        let exp = experiments::by_id(exp_id).expect("known experiment");
+        let mut group = c.benchmark_group(format!("ablation/mq_sticky/{exp_id}"));
+        for spec in QueueSpec::mq_sticky_ablation_set() {
+            group.bench_function(spec.name(), |b| {
+                b.iter_custom(|iters| {
+                    throughput_duration(spec, &exp, common::THREADS, common::PREFILL, iters, seed)
+                })
+            });
+        }
+        group.finish();
+    }
+
     c.final_summary();
 }

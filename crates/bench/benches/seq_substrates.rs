@@ -18,7 +18,7 @@ fn keys() -> Vec<u64> {
 
 fn bench_insert_drain<P: SequentialPq + Default>(c: &mut Criterion, name: &str) {
     let ks = keys();
-    c.bench_function(&format!("seq/{name}/insert_drain_10k"), |b| {
+    c.bench_function(format!("seq/{name}/insert_drain_10k"), |b| {
         b.iter_batched(
             P::default,
             |mut pq| {
@@ -35,7 +35,7 @@ fn bench_insert_drain<P: SequentialPq + Default>(c: &mut Criterion, name: &str) 
 
 fn bench_hold<P: SequentialPq + Default>(c: &mut Criterion, name: &str) {
     let ks = keys();
-    c.bench_function(&format!("seq/{name}/hold_10k"), |b| {
+    c.bench_function(format!("seq/{name}/hold_10k"), |b| {
         b.iter_batched(
             || {
                 let mut pq = P::default();

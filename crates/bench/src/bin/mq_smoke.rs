@@ -1,0 +1,173 @@
+//! Quick MultiQueue-vs-mq-sticky smoke benchmark.
+//!
+//! Runs the stickiness/buffering ablation grid (plain `multiqueue` plus
+//! `mq-sticky` with s ∈ {1, 8, 64} × m ∈ {1, 16}) on the uniform
+//! workload and writes a machine-readable summary to
+//! `BENCH_multiqueue.json`, including the best sticky configuration's
+//! speedup over the plain MultiQueue. `scripts/bench_smoke.sh` wraps
+//! this binary.
+//!
+//! ```text
+//! cargo run -p pq-bench --release --bin mq_smoke -- \
+//!     --threads 4 --duration-ms 1000 --out BENCH_multiqueue.json
+//! ```
+
+use std::time::Duration;
+
+use harness::{experiments, run_throughput, QueueSpec, ThroughputResult};
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+struct Args {
+    threads: usize,
+    prefill: usize,
+    duration_ms: u64,
+    reps: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 4,
+        prefill: 100_000,
+        duration_ms: 1_000,
+        reps: 3,
+        seed: 0x5EED,
+        out: "BENCH_multiqueue.json".to_owned(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--threads" => args.threads = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--prefill" => args.prefill = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-ms" => {
+                args.duration_ms = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = take(&mut i)?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn result_json(r: &ThroughputResult, indent: &str) -> String {
+    let reps = r
+        .per_rep_ops_per_sec
+        .iter()
+        .map(|v| format!("{v:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fair = r
+        .fairness_per_rep()
+        .iter()
+        .map(|v| format!("{v:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{indent}{{\n\
+         {indent}  \"queue\": \"{}\",\n\
+         {indent}  \"threads\": {},\n\
+         {indent}  \"mops_mean\": {:.4},\n\
+         {indent}  \"ops_per_sec_ci95\": {:.1},\n\
+         {indent}  \"per_rep_ops_per_sec\": [{reps}],\n\
+         {indent}  \"fairness_per_rep\": [{fair}]\n\
+         {indent}}}",
+        json_escape(&r.queue),
+        r.threads,
+        r.mops(),
+        r.summary.ci95,
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mq_smoke: {e}");
+            std::process::exit(2);
+        }
+    };
+    let exp = experiments::by_id("fig4a").expect("uniform experiment registered");
+    let cfg = BenchConfig {
+        threads: args.threads,
+        workload: exp.workload,
+        key_dist: exp.key_dist,
+        prefill: args.prefill,
+        stop: StopCondition::Duration(Duration::from_millis(args.duration_ms)),
+        reps: args.reps,
+        seed: args.seed,
+    };
+
+    let mut results: Vec<ThroughputResult> = Vec::new();
+    for spec in QueueSpec::mq_sticky_ablation_set() {
+        eprintln!("running {} ({} threads)...", spec.name(), args.threads);
+        let r = run_throughput(spec, &cfg);
+        eprintln!("  {:.3} MOps/s", r.mops());
+        results.push(r);
+    }
+
+    let plain = results
+        .iter()
+        .find(|r| r.queue == "multiqueue")
+        .expect("plain multiqueue in ablation set");
+    let best_sticky = results
+        .iter()
+        .filter(|r| r.queue.starts_with("mq-sticky"))
+        .max_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+        .expect("sticky configs in ablation set");
+    let speedup = if plain.summary.mean > 0.0 {
+        best_sticky.summary.mean / plain.summary.mean
+    } else {
+        0.0
+    };
+
+    let body = results
+        .iter()
+        .map(|r| result_json(r, "    "))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"fig4a\",\n  \"threads\": {},\n  \"prefill\": {},\n  \
+         \"duration_ms\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"results\": [\n{body}\n  ],\n  \
+         \"plain_mops\": {:.4},\n  \"best_sticky\": \"{}\",\n  \"best_sticky_mops\": {:.4},\n  \
+         \"best_sticky_speedup\": {:.3}\n}}\n",
+        args.threads,
+        args.prefill,
+        args.duration_ms,
+        args.reps,
+        args.seed,
+        plain.mops(),
+        json_escape(&best_sticky.queue),
+        best_sticky.mops(),
+        speedup,
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("mq_smoke: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} — best sticky {} at {:.3} MOps/s vs plain {:.3} MOps/s ({speedup:.2}x)",
+        args.out,
+        best_sticky.queue,
+        best_sticky.mops(),
+        plain.mops(),
+    );
+}

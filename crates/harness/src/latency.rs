@@ -140,6 +140,8 @@ fn measure<Q: ConcurrentPq>(
                         }
                     }
                 }
+                // Commit buffered operations outside the measured ops.
+                h.flush();
                 let mut guard = all.lock().unwrap();
                 guard.0.extend(ins);
                 guard.1.extend(del);

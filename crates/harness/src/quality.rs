@@ -153,6 +153,11 @@ fn record_log<Q: ConcurrentPq>(
                         }
                     }
                 }
+                // Commit buffered operations before the log is sealed:
+                // buffered inserts become visible (they are already
+                // logged), and deletion-buffered items return to the
+                // queue (they were never logged as deleted).
+                h.flush();
                 logs.lock().unwrap().push(log);
             });
         }
@@ -207,7 +212,7 @@ fn replay(log: Vec<LogEntry>, prefill: Vec<Item>) -> (Vec<u64>, Vec<u64>) {
     let mut ranks = Vec::new();
     let mut delays = Vec::new();
     let mut pending: HashSet<Value> = HashSet::new();
-    let mut delete = |treap: &mut OsTreap,
+    let delete = |treap: &mut OsTreap,
                       passes: &mut Fenwick,
                       baselines: &mut HashMap<Value, i64>,
                       item: &Item|

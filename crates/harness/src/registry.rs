@@ -19,6 +19,10 @@ pub enum QueueSpec {
     Spray,
     /// MultiQueue with the given `c` (sub-queues = c·P).
     MultiQueue(usize),
+    /// Sticky, buffered MultiQueue with `(c, s, m)`: sub-queues = c·P,
+    /// stickiness `s` operations, insertion/deletion buffers of `m`
+    /// items (Williams/Sanders engineering of the MultiQueue).
+    MqSticky(usize, usize, usize),
     /// Sequential heap behind a global lock.
     GlobalLock,
     /// Hunt et al. fine-grained heap.
@@ -50,6 +54,15 @@ impl QueueSpec {
                     format!("multiqueue-c{c}")
                 }
             }
+            QueueSpec::MqSticky(c, s, m) => {
+                if (*c, *s, *m) == (4, 8, 8) {
+                    "mq-sticky".to_owned()
+                } else if *c == 4 {
+                    format!("mq-sticky-s{s}-m{m}")
+                } else {
+                    format!("mq-sticky-c{c}-s{s}-m{m}")
+                }
+            }
             QueueSpec::GlobalLock => "globallock".to_owned(),
             QueueSpec::Hunt => "hunt".to_owned(),
             QueueSpec::Mound => "mound".to_owned(),
@@ -66,13 +79,29 @@ impl QueueSpec {
             "linden" => Some(QueueSpec::Linden),
             "spray" => Some(QueueSpec::Spray),
             "multiqueue" => Some(QueueSpec::MultiQueue(4)),
+            "mq-sticky" => Some(QueueSpec::MqSticky(4, 8, 8)),
             "globallock" => Some(QueueSpec::GlobalLock),
             "hunt" => Some(QueueSpec::Hunt),
             "mound" => Some(QueueSpec::Mound),
             "cbpq" => Some(QueueSpec::Cbpq),
             "globallock-pairing" => Some(QueueSpec::GlobalLockPairing),
             _ => {
-                if let Some(k) = s.strip_prefix("klsm") {
+                if let Some(rest) = s.strip_prefix("mq-sticky-") {
+                    // "c{c}-s{s}-m{m}" or "s{s}-m{m}" (c defaults to 4).
+                    let mut c = 4usize;
+                    let mut parts = rest.split('-');
+                    let mut part = parts.next()?;
+                    if let Some(cv) = part.strip_prefix('c') {
+                        c = cv.parse().ok()?;
+                        part = parts.next()?;
+                    }
+                    let sv: usize = part.strip_prefix('s')?.parse().ok()?;
+                    let mv: usize = parts.next()?.strip_prefix('m')?.parse().ok()?;
+                    if parts.next().is_some() {
+                        return None;
+                    }
+                    Some(QueueSpec::MqSticky(c, sv, mv))
+                } else if let Some(k) = s.strip_prefix("klsm") {
                     k.parse().ok().map(QueueSpec::Klsm)
                 } else if let Some(k) = s.strip_prefix("slsm") {
                     k.parse().ok().map(QueueSpec::Slsm)
@@ -111,9 +140,23 @@ impl QueueSpec {
             QueueSpec::Klsm(256),
             QueueSpec::Klsm(4096),
             QueueSpec::MultiQueue(4),
+            QueueSpec::MqSticky(4, 8, 8),
             QueueSpec::Spray,
             QueueSpec::Linden,
         ]
+    }
+
+    /// The stickiness/buffer ablation grid for the sticky MultiQueue:
+    /// plain `multiqueue` as baseline plus `mq-sticky` at `c = 4`,
+    /// `s ∈ {1, 8, 64}`, `m ∈ {1, 16}`.
+    pub fn mq_sticky_ablation_set() -> Vec<QueueSpec> {
+        let mut set = vec![QueueSpec::MultiQueue(4)];
+        for s in [1usize, 8, 64] {
+            for m in [1usize, 16] {
+                set.push(QueueSpec::MqSticky(4, s, m));
+            }
+        }
+        set
     }
 }
 
@@ -154,6 +197,11 @@ macro_rules! with_queue {
             }
             $crate::QueueSpec::MultiQueue(c) => {
                 let $q = ::multiqueue_pq::MultiQueue::<::seqpq::BinaryHeap>::new(c, threads);
+                $body
+            }
+            $crate::QueueSpec::MqSticky(c, s, m) => {
+                let $q =
+                    ::multiqueue_pq::MultiQueueSticky::<::seqpq::BinaryHeap>::new(c, threads, s, m);
                 $body
             }
             $crate::QueueSpec::MultiQueuePairing(c) => {
@@ -199,6 +247,9 @@ mod tests {
             QueueSpec::Spray,
             QueueSpec::MultiQueue(4),
             QueueSpec::MultiQueue(2),
+            QueueSpec::MqSticky(4, 8, 8),
+            QueueSpec::MqSticky(4, 64, 16),
+            QueueSpec::MqSticky(2, 1, 1),
             QueueSpec::GlobalLock,
             QueueSpec::Hunt,
             QueueSpec::Mound,
@@ -210,6 +261,22 @@ mod tests {
             assert_eq!(QueueSpec::parse(&s.name()), Some(s), "{s:?}");
         }
         assert_eq!(QueueSpec::parse("nonsense"), None);
+        assert_eq!(QueueSpec::parse("mq-sticky-s8"), None);
+        assert_eq!(QueueSpec::parse("mq-sticky-s8-m4-x1"), None);
+    }
+
+    #[test]
+    fn sticky_names_match_expectations() {
+        assert_eq!(QueueSpec::MqSticky(4, 8, 8).name(), "mq-sticky");
+        assert_eq!(QueueSpec::MqSticky(4, 64, 16).name(), "mq-sticky-s64-m16");
+        assert_eq!(QueueSpec::MqSticky(2, 1, 4).name(), "mq-sticky-c2-s1-m4");
+    }
+
+    #[test]
+    fn mq_sticky_ablation_set_covers_grid() {
+        let set = QueueSpec::mq_sticky_ablation_set();
+        assert_eq!(set.len(), 7); // baseline + 3 s-values × 2 m-values
+        assert_eq!(set[0], QueueSpec::MultiQueue(4));
     }
 
     #[test]
@@ -227,6 +294,7 @@ mod tests {
             QueueSpec::Linden,
             QueueSpec::Spray,
             QueueSpec::MultiQueue(2),
+            QueueSpec::MqSticky(2, 8, 4),
             QueueSpec::GlobalLock,
             QueueSpec::Hunt,
             QueueSpec::Mound,
@@ -239,6 +307,7 @@ mod tests {
                 for k in 0..50u64 {
                     h.insert(k, k);
                 }
+                h.flush();
                 let mut n = 0;
                 while h.delete_min().is_some() {
                     n += 1;

@@ -35,10 +35,15 @@ pub struct ThroughputResult {
     pub per_rep_ops_per_sec: Vec<f64>,
     /// Summary over repetitions.
     pub summary: Summary,
-    /// Per-thread operation counts of the *last* repetition; exposes
-    /// fairness (a queue whose slow path starves some threads shows a
-    /// skewed distribution even when the total looks healthy).
+    /// Per-thread operation counts of the *last* repetition (kept for
+    /// compatibility; prefer [`ThroughputResult::per_rep_thread_ops`]).
+    /// Exposes fairness (a queue whose slow path starves some threads
+    /// shows a skewed distribution even when the total looks healthy).
     pub per_thread_ops: Vec<u64>,
+    /// Per-thread operation counts of *every* repetition (outer index =
+    /// repetition), so fairness can be summarized with a confidence
+    /// interval like throughput instead of a single-rep snapshot.
+    pub per_rep_thread_ops: Vec<Vec<u64>>,
 }
 
 impl ThroughputResult {
@@ -49,33 +54,54 @@ impl ThroughputResult {
     }
 
     /// Fairness as min/max of per-thread op counts in [0, 1]; 1.0 means
-    /// perfectly even progress, small values mean starvation.
+    /// perfectly even progress, small values mean starvation. Computed
+    /// over the last repetition (see [`Self::fairness_summary`] for the
+    /// all-reps view).
     pub fn fairness(&self) -> f64 {
-        let max = self.per_thread_ops.iter().copied().max().unwrap_or(0);
-        let min = self.per_thread_ops.iter().copied().min().unwrap_or(0);
+        Self::fairness_of(&self.per_thread_ops)
+    }
+
+    fn fairness_of(counts: &[u64]) -> f64 {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
         if max == 0 {
             0.0
         } else {
             min as f64 / max as f64
         }
     }
+
+    /// Fairness of each repetition, in repetition order.
+    pub fn fairness_per_rep(&self) -> Vec<f64> {
+        self.per_rep_thread_ops
+            .iter()
+            .map(|c| Self::fairness_of(c))
+            .collect()
+    }
+
+    /// Mean / sd / 95 % CI of fairness over repetitions, mirroring the
+    /// throughput summary.
+    pub fn fairness_summary(&self) -> Summary {
+        Summary::of(&self.fairness_per_rep())
+    }
 }
 
 /// Run the full throughput benchmark for one queue and configuration.
 pub fn run_throughput(spec: QueueSpec, cfg: &BenchConfig) -> ThroughputResult {
     let mut per_rep = Vec::with_capacity(cfg.reps);
-    let mut per_thread_ops = Vec::new();
+    let mut per_rep_thread_ops = Vec::with_capacity(cfg.reps);
     for rep in 0..cfg.reps {
         let (ops_per_sec, per_thread) = with_queue!(spec, cfg.threads, q => run_once(&q, cfg, rep));
         per_rep.push(ops_per_sec);
-        per_thread_ops = per_thread;
+        per_rep_thread_ops.push(per_thread);
     }
     ThroughputResult {
         queue: spec.name(),
         threads: cfg.threads,
         summary: Summary::of(&per_rep),
         per_rep_ops_per_sec: per_rep,
-        per_thread_ops,
+        per_thread_ops: per_rep_thread_ops.last().cloned().unwrap_or_default(),
+        per_rep_thread_ops,
     }
 }
 
@@ -93,7 +119,7 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<
     let per_thread = &per_thread;
 
     std::thread::scope(|scope| {
-        for t in 0..threads {
+        for (t, thread_ops) in per_thread.iter().enumerate() {
             let chunk_lo = t * prefill_items.len() / threads;
             let chunk_hi = (t + 1) * prefill_items.len() / threads;
             let prefill = &prefill_items[chunk_lo..chunk_hi];
@@ -131,8 +157,12 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<
                     }
                 }
                 let ns = started.elapsed().as_nanos() as u64;
+                // Commit handle-buffered operations outside the timed
+                // window so buffered queues neither lose items nor get
+                // credited for uncommitted work.
+                h.flush();
                 total_ops.fetch_add(count, Ordering::Relaxed);
-                per_thread[t].store(count, Ordering::Relaxed);
+                thread_ops.store(count, Ordering::Relaxed);
                 elapsed_ns.fetch_max(ns, Ordering::Relaxed);
             });
         }
@@ -243,6 +273,33 @@ mod tests {
     }
 
     #[test]
+    fn per_thread_ops_kept_for_every_rep() {
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::OpsPerThread(400);
+        cfg.reps = 3;
+        let r = run_throughput(QueueSpec::MultiQueue(4), &cfg);
+        assert_eq!(r.per_rep_thread_ops.len(), 3);
+        for rep in &r.per_rep_thread_ops {
+            assert_eq!(rep, &vec![400, 400]);
+        }
+        // Compatibility: the flat field still mirrors the last rep.
+        assert_eq!(r.per_thread_ops, r.per_rep_thread_ops[2]);
+        assert_eq!(r.fairness_per_rep(), vec![1.0; 3]);
+        assert_eq!(r.fairness_summary().mean, 1.0);
+    }
+
+    #[test]
+    fn buffered_queue_conserves_items_across_window_flush() {
+        // mq-sticky buffers up to m inserts per handle; the harness
+        // flush at window end must commit them so nothing is lost.
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::OpsPerThread(2_000);
+        cfg.reps = 1;
+        let r = run_throughput(QueueSpec::MqSticky(4, 8, 16), &cfg);
+        assert!(r.summary.mean > 0.0);
+    }
+
+    #[test]
     fn fairness_of_empty_result_is_zero() {
         let r = ThroughputResult {
             queue: "x".into(),
@@ -250,7 +307,9 @@ mod tests {
             per_rep_ops_per_sec: vec![],
             summary: crate::Summary::of(&[]),
             per_thread_ops: vec![],
+            per_rep_thread_ops: vec![],
         };
         assert_eq!(r.fairness(), 0.0);
+        assert!(r.fairness_per_rep().is_empty());
     }
 }

@@ -99,7 +99,8 @@ impl Dlsm {
             let (keep, steal): (Vec<Item>, Vec<Item>) = if all.len() == 1 {
                 (Vec::new(), all)
             } else {
-                let (k, s): (Vec<(usize, Item)>, Vec<(usize, Item)>) =
+                type Indexed = Vec<(usize, Item)>;
+                let (k, s): (Indexed, Indexed) =
                     all.into_iter().enumerate().partition(|(i, _)| i % 2 == 0);
                 (
                     k.into_iter().map(|(_, it)| it).collect(),

@@ -102,6 +102,11 @@ impl<'a, Q: ConcurrentPq> PqHandle for InstrumentedHandle<'a, Q> {
         }
         out
     }
+
+    fn flush(&mut self) {
+        // Not an operation of its own; forward without counting.
+        self.inner.flush();
+    }
 }
 
 impl<Q: ConcurrentPq> ConcurrentPq for Instrumented<Q> {

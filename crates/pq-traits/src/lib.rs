@@ -94,6 +94,17 @@ pub trait PqHandle {
     /// appeared empty (for relaxed queues: *locally* empty — a concurrent
     /// insert may not yet be visible).
     fn delete_min(&mut self) -> Option<Item>;
+
+    /// Commit any handle-buffered operations to the shared structure.
+    ///
+    /// Buffering handles (e.g. the sticky MultiQueue's insertion and
+    /// deletion buffers) override this to push pending inserts into the
+    /// shared queue and return deletion-buffered items to it, so that no
+    /// item is lost when the handle goes idle. The harness calls it at
+    /// the end of every measurement window and before emptiness checks;
+    /// buffering handles must also call it on drop. Default: no-op
+    /// (unbuffered handles have nothing to commit).
+    fn flush(&mut self) {}
 }
 
 /// Relaxation metadata, used by the quality benchmark to compare measured

@@ -145,13 +145,10 @@ impl SkipList {
                 // leaked tag would make a freshly inserted node's bottom
                 // pointer appear claimed, losing the item).
                 let mut cur = pred[level].load(Ordering::Acquire, guard).with_tag(0);
-                loop {
-                    // SAFETY: nodes are retired only after being
-                    // unreachable; the guard keeps reachable-at-load
-                    // memory alive.
-                    let Some(cur_ref) = (unsafe { cur.as_ref() }) else {
-                        break;
-                    };
+                // SAFETY: nodes are retired only after being
+                // unreachable; the guard keeps reachable-at-load
+                // memory alive.
+                while let Some(cur_ref) = unsafe { cur.as_ref() } {
                     let next = cur_ref.tower[level].load(Ordering::Acquire, guard);
                     if next.tag() == MARK {
                         // `cur` is logically deleted: help unlink it.

@@ -99,14 +99,14 @@ impl OpStream {
             ThreadRole::InserterOnly => OpKind::Insert,
             ThreadRole::DeleterOnly => OpKind::DeleteMin,
             ThreadRole::Alternating => {
-                if c % 2 == 0 {
+                if c.is_multiple_of(2) {
                     OpKind::Insert
                 } else {
                     OpKind::DeleteMin
                 }
             }
             ThreadRole::Batched { batch } => {
-                if (c / batch.max(1)) % 2 == 0 {
+                if (c / batch.max(1)).is_multiple_of(2) {
                     OpKind::Insert
                 } else {
                     OpKind::DeleteMin

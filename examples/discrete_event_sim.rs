@@ -64,7 +64,7 @@ fn run_sim<Q: ConcurrentPq>(q: &Q, threads: usize, seed: u64) -> (u64, u64, u64)
             let state = &state;
             s.spawn(move || {
                 let mut h = q.handle();
-                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64 + 1) * 0x9E37);
+                let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
                 loop {
                     match h.delete_min() {
                         Some(ev) => {
@@ -81,7 +81,7 @@ fn run_sim<Q: ConcurrentPq>(q: &Q, threads: usize, seed: u64) -> (u64, u64, u64)
                                 // Schedule the follow-up event: now + a
                                 // random service/interarrival delta
                                 // (the hold model's dependent key).
-                                let delta = rng.gen_range(1..256);
+                                let delta: u64 = rng.gen_range(1..256);
                                 h.insert(ts + delta, station as u64);
                             } else {
                                 state.outstanding.fetch_sub(1, Ordering::AcqRel);

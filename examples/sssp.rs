@@ -30,8 +30,8 @@ impl Graph {
     fn random(nodes: usize, extra_edges: usize, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut adj = vec![Vec::new(); nodes];
-        for u in 0..nodes - 1 {
-            adj[u].push((u as u32 + 1, rng.gen_range(1..100)));
+        for (u, edges) in adj.iter_mut().enumerate().take(nodes - 1) {
+            edges.push((u as u32 + 1, rng.gen_range(1..100)));
         }
         for _ in 0..extra_edges {
             let u = rng.gen_range(0..nodes);

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Smoke benchmark for the MultiQueue family: plain multiqueue vs. the
+# mq-sticky stickiness/buffering grid on the uniform workload. Writes
+# BENCH_multiqueue.json (see crates/bench/src/bin/mq_smoke.rs) at the
+# repository root and prints the best sticky config's speedup.
+#
+# Usage: scripts/bench_smoke.sh [THREADS] [DURATION_MS]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-4}"
+DURATION_MS="${2:-1000}"
+
+cargo run -p pq-bench --release --offline --bin mq_smoke -- \
+    --threads "$THREADS" \
+    --duration-ms "$DURATION_MS" \
+    --out BENCH_multiqueue.json

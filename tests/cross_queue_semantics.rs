@@ -14,6 +14,9 @@ fn all_specs() -> Vec<QueueSpec> {
         QueueSpec::Linden,
         QueueSpec::Spray,
         QueueSpec::MultiQueue(4),
+        QueueSpec::MqSticky(4, 8, 8),
+        QueueSpec::MqSticky(4, 1, 1),
+        QueueSpec::MqSticky(2, 64, 16),
         QueueSpec::GlobalLock,
         QueueSpec::Hunt,
         QueueSpec::Mound,

@@ -32,6 +32,8 @@ fn relaxed_specs() -> Vec<QueueSpec> {
         QueueSpec::Spray,
         QueueSpec::MultiQueue(4),
         QueueSpec::MultiQueuePairing(2),
+        QueueSpec::MqSticky(4, 8, 8),
+        QueueSpec::MqSticky(4, 64, 16),
     ]
 }
 

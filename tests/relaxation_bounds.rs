@@ -91,6 +91,77 @@ fn slsm_standalone_respects_k_bound_single_thread() {
 }
 
 #[test]
+fn mq_sticky_rank_error_within_documented_multiple_of_plain() {
+    // Documented bound (EXPERIMENTS.md, "Stickiness and buffering"):
+    // with stickiness s and buffer capacity m, the mq-sticky mean rank
+    // error stays within BOUND_FACTOR × the plain MultiQueue's mean
+    // rank plus an additive m × threads term (items parked in
+    // handle-local buffers are invisible to other threads, so each of
+    // the P handles can hide up to m smaller items).
+    const BOUND_FACTOR: f64 = 10.0;
+    let threads = 4;
+    let (s, m) = (8usize, 8usize);
+    let plain = run_quality(QueueSpec::MultiQueue(4), &cfg(threads));
+    let sticky = run_quality(QueueSpec::MqSticky(4, s, m), &cfg(threads));
+    assert!(plain.deletions > 0 && sticky.deletions > 0);
+    let bound = BOUND_FACTOR * (plain.rank.mean + (m * threads) as f64);
+    assert!(
+        sticky.rank.mean <= bound,
+        "mq-sticky mean rank {} exceeds documented bound {bound} \
+         (plain mean {}, m={m}, threads={threads})",
+        sticky.rank.mean,
+        plain.rank.mean
+    );
+}
+
+#[test]
+fn mq_sticky_conserves_items_across_flush_and_handle_drop() {
+    // Buffered handles must not lose items: everything inserted is
+    // either delivered during the run or still in the queue after the
+    // handles drop (drop flushes both buffers back).
+    use pq_traits::{ConcurrentPq, PqHandle};
+    let threads = 4usize;
+    let per_thread = 3_000u64;
+    let q = multiqueue_pq::MultiQueueSticky::<seqpq::BinaryHeap>::new(4, threads, 8, 16);
+    let delivered = std::sync::Mutex::new(Vec::<u64>::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let q = &q;
+            let delivered = &delivered;
+            scope.spawn(move || {
+                let mut h = q.handle();
+                let mut got = Vec::new();
+                for i in 0..per_thread {
+                    h.insert(i.wrapping_mul(0x9E37) % 10_000, t * per_thread + i);
+                    if i % 3 == 0 {
+                        if let Some(it) = h.delete_min() {
+                            got.push(it.value);
+                        }
+                    }
+                }
+                delivered.lock().unwrap().extend(got);
+                // `h` drops here with non-empty buffers; Drop flushes.
+            });
+        }
+    });
+    let mut seen = delivered.into_inner().unwrap();
+    let mut h = q.handle();
+    while let Some(it) = h.delete_min() {
+        seen.push(it.value);
+    }
+    seen.sort_unstable();
+    let expect: Vec<u64> = (0..threads as u64 * per_thread).collect();
+    assert_eq!(
+        seen.len(),
+        expect.len(),
+        "conservation violated: {} of {} items accounted for",
+        seen.len(),
+        expect.len()
+    );
+    assert_eq!(seen, expect, "duplicate or foreign values surfaced");
+}
+
+#[test]
 fn spray_rank_is_moderate() {
     let r = run_quality(QueueSpec::Spray, &cfg(4));
     // Not a hard bound, but sprays concentrate near the head: with a

@@ -1,0 +1,297 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses (see `vendor/README.md` for why this exists).
+//!
+//! Implements `Criterion` / `benchmark_group` / `bench_function` with
+//! the `iter`, `iter_custom`, and `iter_batched` timing loops. Instead
+//! of the real crate's statistical engine it takes `sample_size`
+//! samples, prints mean and min per sample to stdout, and keeps no
+//! history — enough to run every bench target and eyeball regressions.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stub only uses
+/// it to pick how many setup/routine pairs form one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target time for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target time for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// The real crate parses CLI filters here; the stub accepts
+    /// everything unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Print the closing summary (no-op beyond a newline in the stub).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Override measurement time for this group (accepted, unused).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            samples,
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        let (mean, min) = b.stats();
+        println!(
+            "  {}/{:<28} mean {:>12} min {:>12} ({} samples)",
+            self.name,
+            id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; runs the timing loops.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    fn stats(&self) -> (f64, f64) {
+        if self.recorded.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = self.recorded.iter().sum::<f64>() / self.recorded.len() as f64;
+        let min = self.recorded.iter().copied().fold(f64::INFINITY, f64::min);
+        (mean, min)
+    }
+
+    /// Time `routine` repeatedly; records mean ns per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that fills the per-sample
+        // budget, starting from one timed call.
+        let once = {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            t.elapsed()
+        };
+        let per_sample = (self.measurement / self.samples as u32).max(Duration::from_micros(50));
+        let iters = (per_sample.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.recorded
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// The caller times itself: `routine(iters)` returns the total
+    /// duration attributable to `iters` iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 1_000u64;
+        for _ in 0..self.samples {
+            let d = routine(iters);
+            self.recorded.push(d.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Setup excluded from timing; `routine` consumes the setup output.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters();
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.recorded
+                .push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn iter_custom_passes_iters() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut seen = Vec::new();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen.push(iters);
+                Duration::from_micros(iters)
+            })
+        });
+        g.finish();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let mut total = 0usize;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| total += v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}

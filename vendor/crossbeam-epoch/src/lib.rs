@@ -1,0 +1,423 @@
+//! Offline stand-in for the subset of `crossbeam-epoch` this workspace
+//! uses (see `vendor/README.md` for why this exists).
+//!
+//! Tagged atomic pointers ([`Atomic`], [`Owned`], [`Shared`]) keep the
+//! real crate's API and semantics. Epoch-based reclamation itself is
+//! replaced by the one memory-safe choice available without tracking
+//! reader epochs: [`Guard::defer_destroy`] *leaks* the node instead of
+//! freeing it. Readers can therefore never observe freed memory; the
+//! cost is that logically deleted nodes are not reclaimed until process
+//! exit. Structure `Drop` impls still free everything reachable via
+//! [`Shared::into_owned`] under [`unprotected`], so quiescent teardown
+//! reclaims the live structure.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mask of the pointer bits available for tags given `T`'s alignment.
+fn low_bits<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+fn decompose<T>(data: usize) -> (usize, usize) {
+    (data & !low_bits::<T>(), data & low_bits::<T>())
+}
+
+/// A pinned-epoch witness. In this stub pinning is free and reclamation
+/// is deferred forever (leaked), so the guard carries no state; it still
+/// types the API exactly like the real crate.
+pub struct Guard {
+    _priv: (),
+}
+
+impl Guard {
+    /// Schedule `ptr` for destruction once no thread can reach it.
+    ///
+    /// Stub behaviour: leak. Without epoch tracking the only memory-safe
+    /// "later" is "never"; callers already guarantee `ptr` is unlinked,
+    /// so leaking it is invisible apart from memory footprint.
+    ///
+    /// # Safety
+    /// Same contract as the real crate: `ptr` must be unlinked so no new
+    /// references to it can be created after this call.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let _ = ptr;
+    }
+}
+
+/// Pin the current thread. Free in this stub; exists for API parity.
+pub fn pin() -> Guard {
+    Guard { _priv: () }
+}
+
+static UNPROTECTED: Guard = Guard { _priv: () };
+
+/// Return a guard without pinning.
+///
+/// # Safety
+/// Caller must guarantee no concurrent access to the data structure
+/// (e.g. inside `Drop` with `&mut self`), exactly as with the real crate.
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED
+}
+
+/// Types convertible to/from a raw tagged-pointer word; implemented by
+/// [`Owned`] and [`Shared`] so [`Atomic`] methods accept either.
+pub trait Pointer<T> {
+    /// Consume `self`, returning the tagged word.
+    fn into_usize(self) -> usize;
+
+    /// Rebuild from a tagged word.
+    ///
+    /// # Safety
+    /// `data` must have come from `into_usize` of the same impl and, for
+    /// `Owned`, ownership must be unique.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated `T` (a `Box` that can carry a tag and move
+/// into an [`Atomic`]).
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        let data = Box::into_raw(Box::new(value)) as usize;
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Convert into a [`Shared`], transferring ownership to the caller's
+    /// unsafe code.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            data: self.into_usize(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Return the same allocation with the tag bits set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Self {
+        let (raw, _) = decompose::<T>(self.data);
+        let data = raw | (tag & low_bits::<T>());
+        mem::forget(self);
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Unwrap the heap allocation into the value.
+    pub fn into_box(self) -> Box<T> {
+        let (raw, _) = decompose::<T>(self.data);
+        mem::forget(self);
+        unsafe { Box::from_raw(raw as *mut T) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &*(raw as *const T) }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (raw, _) = decompose::<T>(self.data);
+        unsafe { &mut *(raw as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (raw, _) = decompose::<T>(self.data);
+        drop(unsafe { Box::from_raw(raw as *mut T) });
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Owned").field(&**self).finish()
+    }
+}
+
+/// A tagged shared pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Self {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True if the address part is null (any tag).
+    pub fn is_null(&self) -> bool {
+        decompose::<T>(self.data).0 == 0
+    }
+
+    /// The tag bits.
+    pub fn tag(&self) -> usize {
+        decompose::<T>(self.data).1
+    }
+
+    /// Same address with tag bits replaced by `tag`.
+    pub fn with_tag(&self, tag: usize) -> Self {
+        let (raw, _) = decompose::<T>(self.data);
+        Self {
+            data: raw | (tag & low_bits::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereference, or `None` when null.
+    ///
+    /// # Safety
+    /// The pointee must still be live (guaranteed by the stub's
+    /// leak-instead-of-free reclamation whenever it was live on load).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        let (raw, _) = decompose::<T>(self.data);
+        (raw as *const T).as_ref()
+    }
+
+    /// Dereference a non-null pointer.
+    ///
+    /// # Safety
+    /// Pointer must be non-null and live.
+    pub unsafe fn deref(&self) -> &'g T {
+        let (raw, _) = decompose::<T>(self.data);
+        &*(raw as *const T)
+    }
+
+    /// Reclaim ownership (e.g. in `Drop` under [`unprotected`]).
+    ///
+    /// # Safety
+    /// Caller must uniquely own the allocation.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on null Shared");
+        Owned::from_usize(self.data)
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (raw, tag) = decompose::<T>(self.data);
+        f.debug_struct("Shared")
+            .field("raw", &(raw as *const T))
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+/// An atomic tagged pointer to a heap `T`.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+/// Error of a failed [`Atomic::compare_exchange`]: the value actually
+/// found plus the not-installed `new`, handed back for reuse.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// What the atomic held instead of the expected value.
+    pub current: Shared<'g, T>,
+    /// The proposed value, returned to the caller.
+    pub new: P,
+}
+
+impl<T, P: Pointer<T>> fmt::Debug for CompareExchangeError<'_, T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompareExchangeError")
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl<T> Atomic<T> {
+    /// A null pointer.
+    pub fn null() -> Self {
+        Self {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocate `value` and point at it.
+    pub fn new(value: T) -> Self {
+        Self {
+            data: AtomicUsize::new(Owned::new(value).into_usize()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Load the current pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        unsafe { Shared::from_usize(self.data.load(ord)) }
+    }
+
+    /// Store a new pointer. The previous pointee is NOT reclaimed (same
+    /// as the real crate).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Swap in a new pointer, returning the previous one.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        unsafe { Shared::from_usize(self.data.swap(new.into_usize(), ord)) }
+    }
+
+    /// Compare-and-swap `current` for `new`. On failure the proposed
+    /// `new` (which may be an [`Owned`]) is handed back in the error so
+    /// the caller can retry without reallocating.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.into_usize(), new_data, success, failure)
+        {
+            Ok(_) => Ok(unsafe { Shared::from_usize(new_data) }),
+            Err(found) => Err(CompareExchangeError {
+                current: unsafe { Shared::from_usize(found) },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Atomic({:#x})",
+            self.data.load(std::sync::atomic::Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed};
+
+    #[test]
+    fn tag_roundtrip() {
+        let g = pin();
+        let a = Atomic::new(42u64);
+        let s = a.load(Acquire, &g);
+        assert_eq!(s.tag(), 0);
+        let t = s.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert_eq!(unsafe { t.deref() }, &42);
+        assert_eq!(t.with_tag(0), s);
+        drop(unsafe { s.into_owned() });
+    }
+
+    #[test]
+    fn compare_exchange_returns_new_on_failure() {
+        let g = pin();
+        let a = Atomic::new(1u64);
+        let cur = a.load(Acquire, &g);
+        let stale = Shared::<u64>::null();
+        let owned = Owned::new(2u64);
+        let e = a
+            .compare_exchange(stale, owned, AcqRel, Acquire, &g)
+            .unwrap_err();
+        assert_eq!(e.current, cur);
+        assert_eq!(*e.new, 2);
+        let ok = a.compare_exchange(cur, e.new, AcqRel, Acquire, &g).unwrap();
+        assert_eq!(unsafe { ok.deref() }, &2);
+        drop(unsafe { cur.into_owned() });
+        drop(unsafe { a.load(Relaxed, &g).into_owned() });
+    }
+
+    #[test]
+    fn null_handling() {
+        let s = Shared::<u64>::null();
+        assert!(s.is_null());
+        assert!(unsafe { s.as_ref() }.is_none());
+        let a = Atomic::<u64>::null();
+        let g = pin();
+        assert!(a.load(Relaxed, &g).is_null());
+    }
+
+    #[test]
+    fn owned_with_tag_preserves_value() {
+        let o = Owned::new(7u64).with_tag(1);
+        let g = pin();
+        let s = o.into_shared(&g);
+        assert_eq!(s.tag(), 1);
+        assert_eq!(unsafe { s.deref() }, &7);
+        drop(unsafe { s.into_owned() });
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline stand-in for the subset of `crossbeam-utils` this workspace
+//! uses: [`CachePadded`] (see `vendor/README.md` for why this exists).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so neighbouring values never
+/// share a cache line (128 covers adjacent-line prefetchers on x86-64
+/// and the 128-byte lines on some aarch64 parts).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CachePadded;
+
+    #[test]
+    fn aligned_to_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let xs = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &xs[0] as *const _ as usize;
+        let b = &xs[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn derefs_to_inner() {
+        let mut c = CachePadded::new(5u64);
+        *c += 1;
+        assert_eq!(*c, 6);
+        assert_eq!(c.into_inner(), 6);
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses
+//! (see `vendor/README.md` for why this exists).
+//!
+//! Provides the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros, [`strategy::Strategy`] with `prop_map`,
+//! [`strategy::Just`], `collection::vec`, `bool::ANY`, integer-range
+//! strategies, tuple strategies, `ProptestConfig::with_cases`, and
+//! `test_runner::TestCaseError`.
+//!
+//! Differences from the real crate, by design: no shrinking (a failing
+//! case reports its inputs un-minimised) and a fixed deterministic seed
+//! per test function, so failures always reproduce.
+
+pub mod test_runner {
+    /// Why a single generated case failed.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The input was rejected (not counted as failure by the runner).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion-failure error.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// An input-rejection error.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Fail(r) => write!(f, "test case failed: {r}"),
+                Self::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured by the stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each `proptest!` test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the heavier multi-queue
+            // property tests quick while still exploring widely.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 source used to drive strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Fixed-seed RNG; `salt` separates test functions so they do
+        /// not all see the same input sequence.
+        pub fn deterministic(salt: u64) -> Self {
+            Self {
+                state: 0x50_52_4F_50_54_45_53_54u64 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty sampling span");
+            // Modulo bias is irrelevant for test-input generation.
+            self.next_u64() % span
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core (`sample_one`) plus sized combinators, so
+    /// `Box<dyn Strategy<Value = T>>` works for `prop_oneof!`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn sample_one(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample_one(&self, rng: &mut TestRng) -> T {
+            (**self).sample_one(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample_one(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample_one(rng)
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample_one(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample_one(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample_one(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from alternatives; must be non-empty.
+        pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs >= 1 alternative");
+            Self { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample_one(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            self.choices[i].sample_one(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident | $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample_one(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample_one(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A | 0, B | 1)
+        (A | 0, B | 1, C | 2)
+        (A | 0, B | 1, C | 2, D | 3)
+    }
+
+    /// PhantomData-free marker for strategies defined on foreign types.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct TypeMarker<T>(pub PhantomData<T>);
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating either boolean with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample_one(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample_one(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Choose uniformly among strategy alternatives producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the current
+/// case with a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`", lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` != `{:?}`: {}", lhs, rhs, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Salt the RNG with the test name so sibling tests explore
+            // different sequences while staying reproducible.
+            let salt = stringify!($name)
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+            let mut rng = $crate::test_runner::TestRng::deterministic(salt);
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::sample_one(&($strategy), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name), case + 1, config.cases, reason
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = (5u64..9).sample_one(&mut rng);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::deterministic(2);
+        let s = crate::collection::vec(0u64..10, 2..5);
+        for _ in 0..200 {
+            let v = s.sample_one(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Op {
+            Ins(u64),
+            Del,
+        }
+        let s = prop_oneof![(0u64..4).prop_map(Op::Ins), Just(Op::Del)];
+        let mut rng = TestRng::deterministic(3);
+        let mut saw_ins = false;
+        let mut saw_del = false;
+        for _ in 0..100 {
+            match s.sample_one(&mut rng) {
+                Op::Ins(k) => {
+                    assert!(k < 4);
+                    saw_ins = true;
+                }
+                Op::Del => saw_del = true,
+            }
+        }
+        assert!(saw_ins && saw_del);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(xs in crate::collection::vec(0u64..100, 0..20)) {
+            let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            for (d, x) in doubled.iter().zip(&xs) {
+                prop_assert!(*d == x * 2, "bad doubling of {}", x);
+            }
+        }
+    }
+}
