@@ -12,8 +12,11 @@
 
 use std::time::Duration;
 
-use harness::{experiments, run_throughput, QueueSpec, ThroughputResult};
-use pq_bench::{format_throughput_table, render_chart, render_csv, Series};
+use harness::{experiments, run_latency, run_throughput, QueueSpec, ThroughputResult};
+use pq_bench::{
+    events_since, format_throughput_table, render_chart, render_csv, MetricsReport, Series,
+};
+use pq_traits::telemetry;
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -27,6 +30,7 @@ struct Args {
     seed: u64,
     chart: bool,
     csv: bool,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0x5EEDu64;
     let mut chart = false;
     let mut csv = false;
+    let mut metrics: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--chart" => chart = true,
             "--csv" => csv = true,
+            "--metrics" => metrics = Some(take(&mut i)?),
             // Thread grids of the paper's four machines (physical cores,
             // then into hyperthreading where the machine has it).
             "--machine" => {
@@ -89,7 +95,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: figures [--experiment <id>]... [--all] [--threads 1,2,4,8] \
                      [--queues klsm128,linden,...] [--prefill N] [--duration-ms N] \
-                     [--reps N] [--seed N] [--chart] [--csv]\nexperiments: {}",
+                     [--reps N] [--seed N] [--chart] [--csv] [--metrics out.json]\n\
+                     experiments: {}",
                     experiments::all()
                         .iter()
                         .map(|e| e.id)
@@ -112,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         chart,
         csv,
+        metrics,
     })
 }
 
@@ -123,6 +131,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut report = args.metrics.as_ref().map(|_| MetricsReport::new("figures"));
     for exp in &args.experiments {
         let mut rows: Vec<Vec<ThroughputResult>> = Vec::new();
         for &spec in &args.queues {
@@ -137,6 +146,7 @@ fn main() {
                     reps: args.reps,
                     seed: args.seed,
                 };
+                let before = telemetry::snapshot();
                 let r = run_throughput(spec, &cfg);
                 eprintln!(
                     "  [{}] {} @ {} threads: {:.3} MOps/s",
@@ -145,9 +155,39 @@ fn main() {
                     t,
                     r.mops()
                 );
+                if let Some(w) = r.steady_state_warning() {
+                    eprintln!("  warning: {w}");
+                }
+                if let Some(report) = report.as_mut() {
+                    report.push_throughput_cell(exp.id, &r, &events_since(&before));
+                }
                 row.push(r);
             }
             rows.push(row);
+        }
+        // With --metrics, also profile per-op latency for each queue at
+        // the largest thread count so one invocation yields counters,
+        // time series and latency histograms in a single document.
+        if let Some(report) = report.as_mut() {
+            let t = args.threads.iter().copied().max().unwrap_or(1);
+            for &spec in &args.queues {
+                let cfg = BenchConfig {
+                    threads: t,
+                    workload: exp.workload,
+                    key_dist: exp.key_dist,
+                    prefill: args.prefill,
+                    stop: StopCondition::OpsPerThread(10_000),
+                    reps: 1,
+                    seed: args.seed,
+                };
+                let before = telemetry::snapshot();
+                let r = run_latency(spec, &cfg);
+                eprintln!(
+                    "  [{}] {} latency @ {} threads: insert p50 {}ns, delete p50 {}ns",
+                    exp.id, r.queue, t, r.insert.p50, r.delete.p50
+                );
+                report.push_latency_cell(exp.id, &r, &events_since(&before));
+            }
         }
         let title = format!(
             "{} — {} workload, {} keys ({})",
@@ -182,5 +222,16 @@ fn main() {
                 .collect();
             println!("{}", render_chart(&title, &args.threads, &series, 16));
         }
+    }
+    if let (Some(path), Some(report)) = (&args.metrics, &report) {
+        if let Err(e) = report.write(path) {
+            eprintln!("figures: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} cells, telemetry {})",
+            report.len(),
+            if telemetry::enabled() { "on" } else { "off" }
+        );
     }
 }

@@ -1,0 +1,137 @@
+//! A/B overhead check for the [`Instrumented`] wrapper.
+//!
+//! Runs the same uniform throughput workload twice — once on a plain
+//! MultiQueue and once on the same queue wrapped in [`Instrumented`] —
+//! and fails (exit 1) when the wrapper costs more than
+//! `--max-overhead-pct` percent of throughput. With per-handle
+//! cache-line-padded counter shards the wrapper should be nearly free;
+//! this binary is the regression guard `scripts/bench_smoke.sh` runs in
+//! CI.
+//!
+//! ```text
+//! cargo run -p pq-bench --release --bin instr_overhead -- \
+//!     --threads 4 --max-overhead-pct 5
+//! ```
+
+use std::time::Duration;
+
+use harness::{experiments, run_throughput_with};
+use pq_traits::Instrumented;
+use workloads::config::StopCondition;
+use workloads::BenchConfig;
+
+type Mq = multiqueue_pq::MultiQueue<seqpq::BinaryHeap>;
+
+struct Args {
+    threads: usize,
+    prefill: usize,
+    duration_ms: u64,
+    reps: usize,
+    seed: u64,
+    max_overhead_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 4,
+        prefill: 100_000,
+        duration_ms: 300,
+        reps: 3,
+        seed: 0x5EED,
+        max_overhead_pct: 5.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--threads" => args.threads = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--prefill" => args.prefill = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-ms" => {
+                args.duration_ms = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--reps" => args.reps = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--max-overhead-pct" => {
+                args.max_overhead_pct = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: instr_overhead [--threads N] [--prefill N] [--duration-ms N] \
+                     [--reps N] [--seed N] [--max-overhead-pct F]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if args.threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("instr_overhead: {e}");
+            std::process::exit(2);
+        }
+    };
+    let exp = experiments::by_id("fig4a").expect("uniform experiment registered");
+    let cfg = BenchConfig {
+        threads: args.threads,
+        workload: exp.workload,
+        key_dist: exp.key_dist,
+        prefill: args.prefill,
+        stop: StopCondition::Duration(Duration::from_millis(args.duration_ms)),
+        reps: args.reps,
+        seed: args.seed,
+    };
+    let subqueues = 4 * args.threads.max(1);
+
+    eprintln!("running plain multiqueue ({} threads)...", args.threads);
+    let plain = run_throughput_with(
+        "multiqueue",
+        || Mq::new(4, args.threads),
+        &cfg,
+    );
+    eprintln!("  {:.3} MOps/s", plain.mops());
+    eprintln!("running instrumented multiqueue ({} threads)...", args.threads);
+    let wrapped = run_throughput_with(
+        "instrumented-multiqueue",
+        || Instrumented::new(Mq::new(4, args.threads)),
+        &cfg,
+    );
+    eprintln!("  {:.3} MOps/s", wrapped.mops());
+
+    let overhead_pct = if plain.summary.mean > 0.0 {
+        (plain.summary.mean - wrapped.summary.mean) / plain.summary.mean * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "plain {:.3} MOps/s ({subqueues} sub-queues), instrumented {:.3} MOps/s, \
+         overhead {overhead_pct:.2}% (limit {:.2}%)",
+        plain.mops(),
+        wrapped.mops(),
+        args.max_overhead_pct,
+    );
+    // Run-to-run noise makes the wrapped run occasionally *faster*;
+    // only a positive gap beyond the limit is a failure.
+    if overhead_pct > args.max_overhead_pct {
+        eprintln!(
+            "instr_overhead: FAIL — instrumentation costs {overhead_pct:.2}% > {:.2}%",
+            args.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
+    println!("instr_overhead: OK");
+}

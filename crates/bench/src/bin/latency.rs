@@ -7,6 +7,8 @@
 //! ```
 
 use harness::{experiments, run_latency, QueueSpec};
+use pq_bench::{events_since, MetricsReport};
+use pq_traits::telemetry;
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -16,6 +18,7 @@ fn main() {
     let mut prefill = 100_000usize;
     let mut exp_id = "fig4a".to_owned();
     let mut queues = QueueSpec::paper_set();
+    let mut metrics: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -38,10 +41,11 @@ fn main() {
                     .map(|s| QueueSpec::parse(s.trim()).expect("queue name"))
                     .collect();
             }
+            "--metrics" => metrics = Some(take(&mut i)),
             "--help" | "-h" => {
                 println!(
                     "usage: latency [--threads N] [--ops-per-thread N] [--prefill N] \
-                     [--experiment <id>] [--queues a,b,c]"
+                     [--experiment <id>] [--queues a,b,c] [--metrics out.json]"
                 );
                 return;
             }
@@ -66,6 +70,7 @@ fn main() {
         "queue", "ins p50", "ins p90", "ins p99", "ins max", "del p50", "del p90", "del p99",
         "del max"
     );
+    let mut report = metrics.as_ref().map(|_| MetricsReport::new("latency"));
     for spec in queues {
         let cfg = BenchConfig {
             threads,
@@ -76,7 +81,11 @@ fn main() {
             reps: 1,
             seed: 0x1A7,
         };
+        let before = telemetry::snapshot();
         let r = run_latency(spec, &cfg);
+        if let Some(report) = report.as_mut() {
+            report.push_latency_cell(&exp_id, &r, &events_since(&before));
+        }
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>10} {:>12}",
             r.queue,
@@ -88,6 +97,17 @@ fn main() {
             r.delete.p90,
             r.delete.p99,
             r.delete.max
+        );
+    }
+    if let (Some(path), Some(report)) = (&metrics, &report) {
+        if let Err(e) = report.write(path) {
+            eprintln!("latency: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} cells, telemetry {})",
+            report.len(),
+            if telemetry::enabled() { "on" } else { "off" }
         );
     }
 }

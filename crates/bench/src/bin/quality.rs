@@ -6,7 +6,8 @@
 //! ```
 
 use harness::{experiments, run_quality, QualityResult, QueueSpec};
-use pq_bench::format_quality_table;
+use pq_bench::{events_since, format_quality_table, MetricsReport};
+use pq_traits::telemetry;
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -17,6 +18,7 @@ struct Args {
     prefill: usize,
     ops_per_thread: u64,
     seed: u64,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
     let mut prefill = 100_000usize;
     let mut ops_per_thread = 20_000u64;
     let mut seed = 0x5EEDu64;
+    let mut metrics: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -61,10 +64,12 @@ fn parse_args() -> Result<Args, String> {
                 ops_per_thread = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--seed" => seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--metrics" => metrics = Some(take(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "usage: quality [--experiment <id>]... [--all] [--threads 2,4,8] \
-                     [--queues klsm128,...] [--prefill N] [--ops-per-thread N] [--seed N]"
+                     [--queues klsm128,...] [--prefill N] [--ops-per-thread N] [--seed N] \
+                     [--metrics out.json]"
                 );
                 std::process::exit(0);
             }
@@ -80,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         prefill,
         ops_per_thread,
         seed,
+        metrics,
     })
 }
 
@@ -91,6 +97,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut report = args.metrics.as_ref().map(|_| MetricsReport::new("quality"));
     for exp in &args.experiments {
         let mut rows: Vec<Vec<QualityResult>> = Vec::new();
         for &spec in &args.queues {
@@ -105,7 +112,11 @@ fn main() {
                     reps: 1,
                     seed: args.seed,
                 };
+                let before = telemetry::snapshot();
                 let r = run_quality(spec, &cfg);
+                if let Some(report) = report.as_mut() {
+                    report.push_quality_cell(exp.id, &r, &events_since(&before));
+                }
                 eprintln!(
                     "  [{}] {} @ {} threads: mean rank {:.1} (sd {:.1}, p50 {}, p99 {}, max {}), \
                      mean delay {:.1}, n={}",
@@ -131,5 +142,16 @@ fn main() {
             exp.artifacts
         );
         println!("\n{}", format_quality_table(&title, &args.threads, &rows));
+    }
+    if let (Some(path), Some(report)) = (&args.metrics, &report) {
+        if let Err(e) = report.write(path) {
+            eprintln!("quality: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} cells, telemetry {})",
+            report.len(),
+            if telemetry::enabled() { "on" } else { "off" }
+        );
     }
 }

@@ -4,9 +4,11 @@
 #![warn(missing_docs)]
 
 pub mod bench_util;
+pub mod metrics;
 pub mod plot;
 pub mod report;
 
 pub use bench_util::throughput_duration;
+pub use metrics::{events_since, MetricsReport};
 pub use plot::{render_chart, render_csv, Series};
 pub use report::{format_quality_table, format_throughput_table};

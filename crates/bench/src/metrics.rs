@@ -1,0 +1,398 @@
+//! Structured JSON metrics export for the benchmark binaries.
+//!
+//! Every binary that accepts `--metrics <path>` funnels its results
+//! through a [`MetricsReport`]: one *cell* per (queue, threads,
+//! workload) configuration, carrying the scalar summaries, the
+//! time-sliced throughput series, latency histograms, and — when the
+//! `telemetry` feature is on — the queue-internal event counters
+//! ([`pq_traits::telemetry`]) observed while that cell ran. The JSON is
+//! handwritten (the workspace is dependency-free by design) and kept
+//! deliberately flat so downstream tooling can consume it with nothing
+//! more than a generic JSON parser.
+//!
+//! Top-level shape:
+//!
+//! ```json
+//! {
+//!   "tool": "figures",
+//!   "telemetry_enabled": true,
+//!   "cells": [ { "kind": "throughput", ... }, ... ],
+//!   "warnings": [ "..." ]
+//! }
+//! ```
+
+use harness::{Histogram, LatencyResult, QualityResult, ThroughputResult};
+use pq_traits::telemetry::{self, EventCounts};
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value; non-finite values become `null`
+/// (JSON has no Infinity/NaN).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let body = xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    format!("[{body}]")
+}
+
+/// Event counters as a JSON object keyed by [`telemetry::Event::name`],
+/// in stable [`telemetry::Event::ALL`] order.
+fn events_json(events: &EventCounts) -> String {
+    let body = events
+        .iter()
+        .map(|(e, c)| format!("\"{}\": {c}", e.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// A histogram as `{count, min, max, mean, p50, p90, p99, p999,
+/// buckets}` where `buckets` lists only non-empty buckets as
+/// `[inclusive_lower_bound, count]` pairs.
+fn histogram_json(h: &Histogram) -> String {
+    let buckets = h
+        .nonzero_buckets()
+        .map(|(lo, c)| format!("[{lo},{c}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [{buckets}]}}",
+        h.count(),
+        h.min(),
+        h.max(),
+        json_f64(h.mean()),
+        h.percentile(0.5),
+        h.percentile(0.9),
+        h.percentile(0.99),
+        h.percentile(0.999),
+    )
+}
+
+/// Accumulates benchmark cells and warnings, then serializes them to a
+/// JSON document. Cells are rendered eagerly so the report only holds
+/// strings.
+#[derive(Debug)]
+pub struct MetricsReport {
+    tool: String,
+    cells: Vec<String>,
+    warnings: Vec<String>,
+}
+
+impl MetricsReport {
+    /// A new empty report for `tool` (the binary name, e.g. "figures").
+    pub fn new(tool: &str) -> Self {
+        Self {
+            tool: tool.to_owned(),
+            cells: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Number of cells pushed so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Record a free-form warning (also useful to mirror to stderr).
+    pub fn push_warning(&mut self, warning: &str) {
+        self.warnings.push(json_escape(warning));
+    }
+
+    /// Add a throughput cell: summary, per-repetition series, fairness,
+    /// the time-sliced ops-per-tick series and drift ratio, plus the
+    /// telemetry events recorded while the cell ran. Automatically
+    /// appends the steady-state warning when the cell drifted > 2×.
+    pub fn push_throughput_cell(
+        &mut self,
+        experiment: &str,
+        r: &ThroughputResult,
+        events: &EventCounts,
+    ) {
+        if let Some(w) = r.steady_state_warning() {
+            self.push_warning(&w);
+        }
+        let per_rep = r
+            .per_rep_ops_per_sec
+            .iter()
+            .map(|&v| json_f64(v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let ticks = r
+            .per_rep_ticks
+            .iter()
+            .map(|t| json_u64_array(t))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let drift = r.drift_ratio().map_or("null".to_owned(), json_f64);
+        self.cells.push(format!(
+            "{{\"kind\": \"throughput\", \"experiment\": \"{}\", \"queue\": \"{}\", \
+             \"threads\": {}, \"ops_per_sec_mean\": {}, \"ops_per_sec_ci95\": {}, \
+             \"mops_mean\": {}, \"per_rep_ops_per_sec\": [{per_rep}], \
+             \"fairness_mean\": {}, \"tick_ms\": {}, \"ticks_per_rep\": [{ticks}], \
+             \"drift_ratio\": {drift}, \"events\": {}}}",
+            json_escape(experiment),
+            json_escape(&r.queue),
+            r.threads,
+            json_f64(r.summary.mean),
+            json_f64(r.summary.ci95),
+            json_f64(r.mops()),
+            json_f64(r.fairness_summary().mean),
+            json_f64(r.tick_ms),
+            events_json(events),
+        ));
+    }
+
+    /// Add a rank-error (quality) cell.
+    pub fn push_quality_cell(
+        &mut self,
+        experiment: &str,
+        r: &QualityResult,
+        events: &EventCounts,
+    ) {
+        self.cells.push(format!(
+            "{{\"kind\": \"quality\", \"experiment\": \"{}\", \"queue\": \"{}\", \
+             \"threads\": {}, \"rank_mean\": {}, \"rank_sd\": {}, \"rank_p50\": {}, \
+             \"rank_p99\": {}, \"rank_max\": {}, \"delay_mean\": {}, \"deletions\": {}, \
+             \"events\": {}}}",
+            json_escape(experiment),
+            json_escape(&r.queue),
+            r.threads,
+            json_f64(r.rank.mean),
+            json_f64(r.rank.sd),
+            r.p50,
+            r.p99,
+            r.max,
+            json_f64(r.delay.mean),
+            r.deletions,
+            events_json(events),
+        ));
+    }
+
+    /// Add a latency cell with full insert/delete histograms.
+    pub fn push_latency_cell(
+        &mut self,
+        experiment: &str,
+        r: &LatencyResult,
+        events: &EventCounts,
+    ) {
+        self.cells.push(format!(
+            "{{\"kind\": \"latency\", \"experiment\": \"{}\", \"queue\": \"{}\", \
+             \"threads\": {}, \"insert\": {}, \"delete\": {}, \"events\": {}}}",
+            json_escape(experiment),
+            json_escape(&r.queue),
+            r.threads,
+            histogram_json(&r.insert_hist),
+            histogram_json(&r.delete_hist),
+            events_json(events),
+        ));
+    }
+
+    /// Serialize the whole report.
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| format!("    {c}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let warnings = self
+            .warnings
+            .iter()
+            .map(|w| format!("    \"{w}\""))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"tool\": \"{}\",\n  \"telemetry_enabled\": {},\n  \"cells\": [\n{cells}\n  ],\n  \
+             \"warnings\": [\n{warnings}\n  ]\n}}\n",
+            json_escape(&self.tool),
+            telemetry::enabled(),
+        )
+    }
+
+    /// Write the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Snapshot-delta helper: the telemetry events recorded since `before`.
+/// Binaries call `telemetry::snapshot()` before a cell and this after,
+/// so concurrent cells in one process don't bleed into each other's
+/// counters without needing a global reset.
+pub fn events_since(before: &EventCounts) -> EventCounts {
+    telemetry::snapshot().since(before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::Summary;
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// string literals, and no trailing garbage.
+    fn assert_balanced(json: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in json.chars() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {json}");
+        }
+        assert!(!in_str, "unterminated string in {json}");
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+    }
+
+    fn throughput_result(ticks: Vec<Vec<u64>>) -> ThroughputResult {
+        ThroughputResult {
+            queue: "testq".into(),
+            threads: 2,
+            per_rep_ops_per_sec: vec![1e6, 1.1e6],
+            summary: Summary::of(&[1e6, 1.1e6]),
+            per_thread_ops: vec![500, 500],
+            per_rep_thread_ops: vec![vec![500, 500], vec![550, 550]],
+            tick_ms: 10.0,
+            per_rep_ticks: ticks,
+        }
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_carries_cells() {
+        let mut m = MetricsReport::new("figures");
+        m.push_throughput_cell(
+            "fig4a",
+            &throughput_result(vec![vec![100, 100, 100]]),
+            &EventCounts::default(),
+        );
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"tool\": \"figures\""));
+        assert!(json.contains("\"kind\": \"throughput\""));
+        assert!(json.contains("\"queue\": \"testq\""));
+        assert!(json.contains("\"ticks_per_rep\": [[100,100,100]]"));
+        // Every event name is present even when counts are zero.
+        for e in pq_traits::telemetry::Event::ALL {
+            assert!(json.contains(e.name()), "missing event {}", e.name());
+        }
+    }
+
+    #[test]
+    fn drifting_cell_appends_warning() {
+        let mut m = MetricsReport::new("figures");
+        m.push_throughput_cell(
+            "fig4a",
+            &throughput_result(vec![vec![300, 200, 100]]),
+            &EventCounts::default(),
+        );
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("drifted"), "missing drift warning: {json}");
+        assert!(json.contains("\"drift_ratio\": 3.000000"));
+    }
+
+    #[test]
+    fn stalled_tick_serializes_drift_as_null() {
+        let mut m = MetricsReport::new("figures");
+        m.push_throughput_cell(
+            "fig4a",
+            &throughput_result(vec![vec![300, 0]]),
+            &EventCounts::default(),
+        );
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"drift_ratio\": null"));
+    }
+
+    #[test]
+    fn latency_cell_exports_histograms() {
+        let mut ins = Histogram::new();
+        let mut del = Histogram::new();
+        for v in 1..=100u64 {
+            ins.record(v * 10);
+            del.record(v * 20);
+        }
+        let r = LatencyResult {
+            queue: "testq".into(),
+            threads: 4,
+            insert: harness::LatencyProfile::from_histogram(&ins),
+            delete: harness::LatencyProfile::from_histogram(&del),
+            insert_hist: ins,
+            delete_hist: del,
+        };
+        let mut m = MetricsReport::new("latency");
+        m.push_latency_cell("fig4a", &r, &EventCounts::default());
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\": \"latency\""));
+        assert!(json.contains("\"count\": 100"));
+        assert!(json.contains("\"buckets\": [["));
+    }
+
+    #[test]
+    fn quality_cell_exports_rank_stats() {
+        let r = QualityResult {
+            queue: "testq".into(),
+            threads: 4,
+            rank: Summary::of_u64(&[10, 20, 30]),
+            p50: 20,
+            p99: 30,
+            max: 30,
+            delay: Summary::of_u64(&[1, 2, 3]),
+            deletions: 3,
+        };
+        let mut m = MetricsReport::new("quality");
+        m.push_quality_cell("table2a", &r, &EventCounts::default());
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\": \"quality\""));
+        assert!(json.contains("\"rank_p99\": 30"));
+        assert!(json.contains("\"deletions\": 3"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut m = MetricsReport::new("we\"ird\\tool\n");
+        m.push_warning("warn \"quoted\"");
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("we\\\"ird\\\\tool\\n"));
+    }
+}

@@ -75,6 +75,8 @@ mod tests {
             summary: Summary::of(&[mean]),
             per_thread_ops: vec![mean as u64 / 2; 2],
             per_rep_thread_ops: vec![vec![mean as u64 / 2; 2]],
+            tick_ms: 10.0,
+            per_rep_ticks: vec![],
         }
     }
 

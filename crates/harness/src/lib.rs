@@ -30,5 +30,5 @@ pub use experiments::Experiment;
 pub use latency::{run_latency, LatencyProfile, LatencyResult};
 pub use quality::{run_quality, QualityResult};
 pub use registry::QueueSpec;
-pub use stats::Summary;
-pub use throughput::{run_throughput, ThroughputResult};
+pub use stats::{Histogram, Summary};
+pub use throughput::{run_throughput, run_throughput_with, ThroughputResult};

@@ -5,10 +5,18 @@
 //! number of operations performed per second" (appendix F). Each
 //! configuration runs `reps` times; the mean and 95 % confidence interval
 //! over repetitions are reported, as in the paper.
+//!
+//! In addition to the scalar ops/s number, each repetition records a
+//! time-sliced series: per-thread operation counts sampled at a fixed
+//! tick, aggregated into operations-completed-per-tick. A queue whose
+//! throughput decays over the window (e.g. because relaxation lets it
+//! race ahead early and degrade later) shows up as first-tick vs
+//! last-tick drift, which [`ThroughputResult::steady_state_warning`]
+//! flags when it exceeds 2×.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
-use std::time::Instant;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 use pq_traits::{ConcurrentPq, PqHandle};
 use workloads::config::StopCondition;
@@ -23,6 +31,19 @@ use crate::with_queue;
 /// `PREFILL_TAG`.
 pub(crate) const VALUE_SHIFT: u32 = 40;
 pub(crate) const PREFILL_TAG: u64 = 0xFF << VALUE_SHIFT;
+
+/// Sampling tick for the time-sliced throughput series: a tenth of the
+/// measurement window, clamped to [5 ms, 100 ms], so short smoke runs
+/// still produce a usable number of ticks while long runs stay at the
+/// conventional 100 ms resolution. Fixed-ops runs use a 10 ms tick.
+fn tick_for(stop: &StopCondition) -> Duration {
+    match stop {
+        StopCondition::Duration(d) => {
+            (*d / 10).clamp(Duration::from_millis(5), Duration::from_millis(100))
+        }
+        StopCondition::OpsPerThread(_) => Duration::from_millis(10),
+    }
+}
 
 /// Result of one throughput configuration.
 #[derive(Clone, Debug)]
@@ -44,6 +65,11 @@ pub struct ThroughputResult {
     /// repetition), so fairness can be summarized with a confidence
     /// interval like throughput instead of a single-rep snapshot.
     pub per_rep_thread_ops: Vec<Vec<u64>>,
+    /// Sampling tick of the time-sliced series, in milliseconds.
+    pub tick_ms: f64,
+    /// Operations completed per tick, aggregated over threads, one inner
+    /// series per repetition. The trailing partial tick is dropped.
+    pub per_rep_ticks: Vec<Vec<u64>>,
 }
 
 impl ThroughputResult {
@@ -84,39 +110,135 @@ impl ThroughputResult {
     pub fn fairness_summary(&self) -> Summary {
         Summary::of(&self.fairness_per_rep())
     }
+
+    /// Worst first-tick vs last-tick throughput ratio (≥ 1) over all
+    /// repetitions with at least two ticks, or `None` when no repetition
+    /// has enough ticks to compare. A stalled tick (zero ops) reports
+    /// infinity.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for ticks in &self.per_rep_ticks {
+            if ticks.len() < 2 {
+                continue;
+            }
+            let first = ticks[0] as f64;
+            let last = ticks[ticks.len() - 1] as f64;
+            let r = if first == 0.0 && last == 0.0 {
+                1.0
+            } else if first == 0.0 || last == 0.0 {
+                f64::INFINITY
+            } else {
+                (first / last).max(last / first)
+            };
+            worst = Some(worst.map_or(r, |w| w.max(r)));
+        }
+        worst
+    }
+
+    /// A human-readable warning when throughput drifted more than 2×
+    /// between the first and last tick of any repetition — a sign the
+    /// measurement window never reached steady state and the scalar
+    /// ops/s number is misleading.
+    pub fn steady_state_warning(&self) -> Option<String> {
+        let r = self.drift_ratio()?;
+        if r > 2.0 {
+            Some(format!(
+                "{} @ {} threads: throughput drifted {:.2}x between first and last \
+                 {:.0}ms tick; window may not be steady-state",
+                self.queue, self.threads, r, self.tick_ms
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// One repetition's raw measurements.
+struct RepOutcome {
+    ops_per_sec: f64,
+    per_thread: Vec<u64>,
+    ticks: Vec<u64>,
 }
 
 /// Run the full throughput benchmark for one queue and configuration.
 pub fn run_throughput(spec: QueueSpec, cfg: &BenchConfig) -> ThroughputResult {
-    let mut per_rep = Vec::with_capacity(cfg.reps);
-    let mut per_rep_thread_ops = Vec::with_capacity(cfg.reps);
+    let mut reps = Vec::with_capacity(cfg.reps);
     for rep in 0..cfg.reps {
-        let (ops_per_sec, per_thread) = with_queue!(spec, cfg.threads, q => run_once(&q, cfg, rep));
-        per_rep.push(ops_per_sec);
-        per_rep_thread_ops.push(per_thread);
+        reps.push(with_queue!(spec, cfg.threads, q => run_once(&q, cfg, rep)));
     }
+    assemble(spec.name(), cfg, reps)
+}
+
+/// Like [`run_throughput`], but for a caller-constructed queue type
+/// outside the registry: `make` builds a fresh queue for each
+/// repetition. Used e.g. to A/B a queue against its
+/// [`pq_traits::Instrumented`] wrapper when measuring wrapper overhead.
+pub fn run_throughput_with<Q: ConcurrentPq>(
+    name: &str,
+    make: impl Fn() -> Q,
+    cfg: &BenchConfig,
+) -> ThroughputResult {
+    let mut reps = Vec::with_capacity(cfg.reps);
+    for rep in 0..cfg.reps {
+        let q = make();
+        reps.push(run_once(&q, cfg, rep));
+    }
+    assemble(name.to_owned(), cfg, reps)
+}
+
+fn assemble(queue: String, cfg: &BenchConfig, reps: Vec<RepOutcome>) -> ThroughputResult {
+    let per_rep_ops_per_sec: Vec<f64> = reps.iter().map(|r| r.ops_per_sec).collect();
+    let per_rep_thread_ops: Vec<Vec<u64>> =
+        reps.iter().map(|r| r.per_thread.clone()).collect();
+    let per_rep_ticks: Vec<Vec<u64>> = reps.into_iter().map(|r| r.ticks).collect();
     ThroughputResult {
-        queue: spec.name(),
+        queue,
         threads: cfg.threads,
-        summary: Summary::of(&per_rep),
-        per_rep_ops_per_sec: per_rep,
+        summary: Summary::of(&per_rep_ops_per_sec),
+        per_rep_ops_per_sec,
         per_thread_ops: per_rep_thread_ops.last().cloned().unwrap_or_default(),
         per_rep_thread_ops,
+        tick_ms: tick_for(&cfg.stop).as_secs_f64() * 1e3,
+        per_rep_ticks,
     }
+}
+
+/// Sum per-thread cumulative tick series into one aggregate
+/// ops-per-tick series. Threads that stopped sampling early (shorter
+/// series) are padded with their final total, so later ticks still
+/// account for all threads' completed work.
+fn aggregate_ticks(series: &[Vec<u64>], totals: &[u64]) -> Vec<u64> {
+    let len = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(len);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let cum: u64 = series
+            .iter()
+            .zip(totals)
+            .map(|(s, &total)| s.get(i).copied().unwrap_or(total))
+            .sum();
+        out.push(cum.saturating_sub(prev));
+        prev = cum;
+    }
+    out
 }
 
 /// One repetition: prefill (split across the workers), barrier, timed
 /// mixed workload. Returns operations per second over the measurement
-/// window plus per-thread operation counts.
-fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<u64>) {
+/// window plus per-thread operation counts and the aggregated
+/// time-sliced series.
+fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> RepOutcome {
     let rep_seed = cfg.seed ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     let prefill_items = cfg.prefill_items(PREFILL_TAG);
     let threads = cfg.threads;
+    let tick = tick_for(&cfg.stop);
     let barrier = Barrier::new(threads + 1);
     let total_ops = AtomicU64::new(0);
     let elapsed_ns = AtomicU64::new(0);
     let per_thread: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
     let per_thread = &per_thread;
+    let tick_series: Vec<Mutex<Vec<u64>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let tick_series = &tick_series;
 
     std::thread::scope(|scope| {
         for (t, thread_ops) in per_thread.iter().enumerate() {
@@ -139,21 +261,37 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<
                 barrier.wait(); // start signal
                 let started = Instant::now();
                 let mut count = 0u64;
+                // Cumulative op count at each elapsed tick boundary.
+                let mut ticks: Vec<u64> = Vec::new();
+                let mut next_tick = tick;
                 match cfg.stop {
                     StopCondition::Duration(d) => loop {
                         for _ in 0..64 {
                             perform(&mut h, &mut ops, &mut keys, &mut next_value);
                         }
                         count += 64;
-                        if started.elapsed() >= d {
+                        let elapsed = started.elapsed();
+                        while elapsed >= next_tick {
+                            ticks.push(count);
+                            next_tick += tick;
+                        }
+                        if elapsed >= d {
                             break;
                         }
                     },
                     StopCondition::OpsPerThread(n) => {
-                        for _ in 0..n {
-                            perform(&mut h, &mut ops, &mut keys, &mut next_value);
+                        while count < n {
+                            let batch = 64.min(n - count);
+                            for _ in 0..batch {
+                                perform(&mut h, &mut ops, &mut keys, &mut next_value);
+                            }
+                            count += batch;
+                            let elapsed = started.elapsed();
+                            while elapsed >= next_tick {
+                                ticks.push(count);
+                                next_tick += tick;
+                            }
                         }
-                        count = n;
                     }
                 }
                 let ns = started.elapsed().as_nanos() as u64;
@@ -164,6 +302,7 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<
                 total_ops.fetch_add(count, Ordering::Relaxed);
                 thread_ops.store(count, Ordering::Relaxed);
                 elapsed_ns.fetch_max(ns, Ordering::Relaxed);
+                *tick_series[t].lock().unwrap() = ticks;
             });
         }
         barrier.wait(); // wait for prefill
@@ -172,11 +311,19 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> (f64, Vec<
 
     let ops = total_ops.load(Ordering::Relaxed) as f64;
     let secs = elapsed_ns.load(Ordering::Relaxed) as f64 / 1e9;
-    let counts = per_thread
+    let counts: Vec<u64> = per_thread
         .iter()
         .map(|c| c.load(Ordering::Relaxed))
         .collect();
-    (if secs > 0.0 { ops / secs } else { 0.0 }, counts)
+    let series: Vec<Vec<u64>> = tick_series
+        .iter()
+        .map(|m| std::mem::take(&mut *m.lock().unwrap()))
+        .collect();
+    RepOutcome {
+        ops_per_sec: if secs > 0.0 { ops / secs } else { 0.0 },
+        ticks: aggregate_ticks(&series, &counts),
+        per_thread: counts,
+    }
 }
 
 #[inline]
@@ -203,7 +350,6 @@ fn perform<H: PqHandle>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
     use workloads::{KeyDistribution, Workload};
 
     fn tiny_cfg(threads: usize) -> BenchConfig {
@@ -300,6 +446,100 @@ mod tests {
     }
 
     #[test]
+    fn time_sliced_series_has_expected_ticks() {
+        // 100 ms window → 10 ms tick → ~10 ticks; require at least 5 so
+        // the series is usable for drift detection, and check the series
+        // never exceeds the total op count.
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::Duration(Duration::from_millis(100));
+        cfg.reps = 1;
+        let r = run_throughput(QueueSpec::MultiQueue(4), &cfg);
+        assert_eq!(r.tick_ms, 10.0);
+        assert_eq!(r.per_rep_ticks.len(), 1);
+        let ticks = &r.per_rep_ticks[0];
+        assert!(ticks.len() >= 5, "only {} ticks in a 100ms window", ticks.len());
+        let total: u64 = r.per_thread_ops.iter().sum();
+        assert!(ticks.iter().sum::<u64>() <= total);
+        assert!(ticks.iter().any(|&t| t > 0), "all ticks empty");
+    }
+
+    #[test]
+    fn tick_adapts_to_short_windows() {
+        assert_eq!(
+            tick_for(&StopCondition::Duration(Duration::from_millis(150))),
+            Duration::from_millis(15)
+        );
+        // Clamped below and above.
+        assert_eq!(
+            tick_for(&StopCondition::Duration(Duration::from_millis(10))),
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            tick_for(&StopCondition::Duration(Duration::from_secs(10))),
+            Duration::from_millis(100)
+        );
+        assert_eq!(
+            tick_for(&StopCondition::OpsPerThread(1_000)),
+            Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn aggregate_ticks_pads_short_series_with_totals() {
+        // Thread 0 sampled three ticks; thread 1 finished after one.
+        let series = vec![vec![10, 20, 30], vec![5]];
+        let totals = vec![35, 8];
+        // Cumulative: [15, 28, 38] → per-tick [15, 13, 10].
+        assert_eq!(aggregate_ticks(&series, &totals), vec![15, 13, 10]);
+        // No threads sampled anything → empty series.
+        assert_eq!(aggregate_ticks(&[vec![], vec![]], &totals), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn run_throughput_with_matches_registry_shape() {
+        let mut cfg = tiny_cfg(2);
+        cfg.stop = StopCondition::OpsPerThread(500);
+        cfg.reps = 2;
+        let r = run_throughput_with(
+            "custom-mq",
+            || multiqueue_pq::MultiQueue::<seqpq::BinaryHeap>::new(2, 2),
+            &cfg,
+        );
+        assert_eq!(r.queue, "custom-mq");
+        assert_eq!(r.per_rep_ops_per_sec.len(), 2);
+        assert!(r.summary.mean > 0.0);
+        assert_eq!(r.per_thread_ops, vec![500, 500]);
+    }
+
+    #[test]
+    fn drift_ratio_flags_unsteady_windows() {
+        let mk = |ticks: Vec<Vec<u64>>| ThroughputResult {
+            queue: "x".into(),
+            threads: 2,
+            per_rep_ops_per_sec: vec![],
+            summary: crate::Summary::of(&[]),
+            per_thread_ops: vec![],
+            per_rep_thread_ops: vec![],
+            tick_ms: 10.0,
+            per_rep_ticks: ticks,
+        };
+        // Steady: ratio close to 1, no warning.
+        let steady = mk(vec![vec![100, 95, 105, 100]]);
+        assert!(steady.drift_ratio().unwrap() < 1.2);
+        assert!(steady.steady_state_warning().is_none());
+        // 3x decay between first and last tick: warn.
+        let decaying = mk(vec![vec![300, 200, 150, 100]]);
+        assert!((decaying.drift_ratio().unwrap() - 3.0).abs() < 1e-9);
+        assert!(decaying.steady_state_warning().is_some());
+        // Stalled final tick: infinite drift.
+        let stalled = mk(vec![vec![300, 0]]);
+        assert!(stalled.drift_ratio().unwrap().is_infinite());
+        // Not enough ticks to compare.
+        assert!(mk(vec![vec![42]]).drift_ratio().is_none());
+        assert!(mk(vec![]).steady_state_warning().is_none());
+    }
+
+    #[test]
     fn fairness_of_empty_result_is_zero() {
         let r = ThroughputResult {
             queue: "x".into(),
@@ -308,6 +548,8 @@ mod tests {
             summary: crate::Summary::of(&[]),
             per_thread_ops: vec![],
             per_rep_thread_ops: vec![],
+            tick_ms: 0.0,
+            per_rep_ticks: vec![],
         };
         assert_eq!(r.fairness(), 0.0);
         assert!(r.fairness_per_rep().is_empty());

@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use lsm::Lsm;
+use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,6 +80,7 @@ impl Dlsm {
         if n <= 1 {
             return 0;
         }
+        telemetry::record(telemetry::Event::DlsmSpyAttempt);
         let rot = rng.gen_range(0..n);
         for off in 0..n {
             let victim = (rot + off) % n;
@@ -113,6 +115,8 @@ impl Dlsm {
             drop(guard);
             debug_assert!(!steal.is_empty());
             let stolen = steal.len();
+            telemetry::record(telemetry::Event::DlsmSpySteal);
+            telemetry::record_n(telemetry::Event::DlsmSpyItems, stolen as u64);
             let mut own = self.slots[slot].lock();
             if own.is_empty() {
                 *own = Lsm::from_sorted(steal);

@@ -21,6 +21,7 @@ use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
 
 use crate::shared_block::{Entry, SharedBlock};
@@ -170,6 +171,7 @@ impl Slsm {
                         return SlsmOutcome::TookShared(entry.item);
                     }
                     // Lost the race for this entry; retry.
+                    telemetry::record(telemetry::Event::SlsmLostRace);
                 }
                 None => {
                     if self.live.load(Ordering::Acquire) == 0 {
@@ -198,6 +200,7 @@ impl Slsm {
     /// means another thread already changed the list — that is progress
     /// too, so failure is ignored.
     fn rebuild_pivot(&self, old: Shared<'_, BlockList>, guard: &Guard) {
+        telemetry::record(telemetry::Event::SlsmPivotRebuild);
         // SAFETY: protected by `guard`.
         let old_ref = unsafe { old.deref() };
         let blocks: Vec<Arc<SharedBlock>> = old_ref

@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
 use seqpq::BinaryHeap;
 
@@ -103,6 +104,7 @@ pub(crate) fn two_choice_pop<P: SequentialPq + Default>(
         let kb = queues[b].min_key.load(Ordering::Acquire);
         let pick = if ka <= kb { a } else { b };
         if ka.min(kb) == EMPTY_MIN {
+            telemetry::record(telemetry::Event::MqEmptySample);
             // Every sub-queue looking empty for a whole round's worth of
             // samples almost certainly means the queue *is* empty; go
             // verify with the sweep instead of burning the remaining

@@ -37,6 +37,7 @@ use crossbeam_utils::CachePadded;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
 use seqpq::BinaryHeap;
 
@@ -158,10 +159,11 @@ impl<P: SequentialPq + Default + Send> MultiQueueStickyHandle<'_, P> {
     }
 
     /// Drain the insertion buffer into one sub-queue under a single lock
-    /// acquire (the sticky insert queue; re-roll on contention).
-    fn flush_inserts(&mut self) {
+    /// acquire (the sticky insert queue; re-roll on contention). Returns
+    /// the number of items committed.
+    fn flush_inserts(&mut self) -> u64 {
         if self.ins_buf.is_empty() {
-            return;
+            return 0;
         }
         loop {
             self.ensure_sticky();
@@ -170,19 +172,23 @@ impl<P: SequentialPq + Default + Send> MultiQueueStickyHandle<'_, P> {
                 self.re_roll();
                 continue;
             };
+            let n = self.ins_buf.len() as u64;
             for it in self.ins_buf.drain(..) {
                 heap.insert(it.key, it.value);
             }
             q.publish_min(&heap);
-            return;
+            telemetry::record(telemetry::Event::MqBufferFlush);
+            telemetry::record_n(telemetry::Event::MqBufferFlushItems, n);
+            return n;
         }
     }
 
     /// Return deletion-buffered items to the shared structure (they were
-    /// popped but not yet handed to the caller).
-    fn unspool_deletes(&mut self) {
+    /// popped but not yet handed to the caller). Returns the number of
+    /// items returned.
+    fn unspool_deletes(&mut self) -> u64 {
         if self.del_buf.is_empty() {
-            return;
+            return 0;
         }
         loop {
             self.ensure_sticky();
@@ -191,11 +197,12 @@ impl<P: SequentialPq + Default + Send> MultiQueueStickyHandle<'_, P> {
                 self.re_roll();
                 continue;
             };
+            let n = self.del_buf.len() as u64;
             for it in self.del_buf.drain(..) {
                 heap.insert(it.key, it.value);
             }
             q.publish_min(&heap);
-            return;
+            return n;
         }
     }
 
@@ -261,6 +268,7 @@ impl<P: SequentialPq + Default + Send> PqHandle for MultiQueueStickyHandle<'_, P
             }
 
             if qmin == EMPTY_MIN {
+                telemetry::record(telemetry::Event::MqEmptySample);
                 // Both sticky sub-queues look empty and (by the checks
                 // above) both buffers are empty. Commit any pending state
                 // and fall back to the plain randomized probe + sweep so
@@ -283,9 +291,8 @@ impl<P: SequentialPq + Default + Send> PqHandle for MultiQueueStickyHandle<'_, P
         }
     }
 
-    fn flush(&mut self) {
-        self.flush_inserts();
-        self.unspool_deletes();
+    fn flush(&mut self) -> u64 {
+        self.flush_inserts() + self.unspool_deletes()
     }
 }
 
@@ -365,6 +372,19 @@ mod tests {
         let q = MultiQueueSticky::<BinaryHeap>::new(4, 2, 8, 16);
         let mut h = q.handle();
         assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn flush_returns_number_of_committed_items() {
+        let q = MultiQueueSticky::<BinaryHeap>::new(4, 2, 8, 16);
+        let mut h = q.handle();
+        for k in 0..5u64 {
+            h.insert(k, k);
+        }
+        // m=16 not reached, so all 5 items are still buffered.
+        assert_eq!(h.flush(), 5);
+        // Nothing left to commit on a second flush.
+        assert_eq!(h.flush(), 0);
     }
 
     #[test]

@@ -2,12 +2,21 @@
 //! queue without touching its implementation.
 //!
 //! Wraps a [`ConcurrentPq`] and tallies insertions, successful
-//! deletions, and *empty* deletions (a `delete_min` that returned
-//! `None`). Empty deletions are an interesting signal of their own: the
-//! paper's split workload makes deleting threads outrun inserting ones,
-//! and relaxed queues differ in how often they spuriously report empty.
+//! deletions, *empty* deletions (a `delete_min` that returned `None`)
+//! and flushes. Empty deletions are an interesting signal of their own:
+//! the paper's split workload makes deleting threads outrun inserting
+//! ones, and relaxed queues differ in how often they spuriously report
+//! empty.
+//!
+//! Counters are sharded per handle: every [`InstrumentedHandle`] owns a
+//! cache-line-aligned [`CounterShard`] and increments it with relaxed,
+//! uncontended atomic adds; [`Instrumented::counts`] sums the shards.
+//! The previous design kept three shared `AtomicU64`s on the queue —
+//! at high thread counts those became their own contention hotspot and
+//! skewed the very measurements the wrapper exists to take.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::{ConcurrentPq, Item, Key, PqHandle, Value};
 
@@ -20,10 +29,15 @@ pub struct OpCounts {
     pub deletes: u64,
     /// Deletions that found the queue (apparently) empty.
     pub empty_deletes: u64,
+    /// `flush` calls made through instrumented handles.
+    pub flushes: u64,
+    /// Buffered items committed to the shared structure across all
+    /// flushes (0 for unbuffered queues).
+    pub flushed_items: u64,
 }
 
 impl OpCounts {
-    /// Total operations.
+    /// Total queue operations (flushes are bookkeeping, not operations).
     pub fn total(&self) -> u64 {
         self.inserts + self.deletes + self.empty_deletes
     }
@@ -32,15 +46,38 @@ impl OpCounts {
     pub fn net_items(&self) -> i64 {
         self.inserts as i64 - self.deletes as i64
     }
+
+    /// Mean buffered items committed per flush (0 if never flushed).
+    pub fn items_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_items as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// One handle's counter shard. `#[repr(align(64))]` gives every shard
+/// its own cache line, so concurrent handles never write to a shared
+/// line (the false-sharing fix over the old shared-atomics design).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CounterShard {
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    empty_deletes: AtomicU64,
+    flushes: AtomicU64,
+    flushed_items: AtomicU64,
 }
 
 /// A queue wrapper that counts operations.
 #[derive(Debug, Default)]
 pub struct Instrumented<Q> {
     inner: Q,
-    inserts: AtomicU64,
-    deletes: AtomicU64,
-    empty_deletes: AtomicU64,
+    /// Every shard ever handed to a handle; `Arc` keeps a shard's counts
+    /// alive (and included in [`Instrumented::counts`]) after its handle
+    /// drops.
+    shards: Mutex<Vec<Arc<CounterShard>>>,
 }
 
 impl<Q> Instrumented<Q> {
@@ -48,9 +85,7 @@ impl<Q> Instrumented<Q> {
     pub fn new(inner: Q) -> Self {
         Self {
             inner,
-            inserts: AtomicU64::new(0),
-            deletes: AtomicU64::new(0),
-            empty_deletes: AtomicU64::new(0),
+            shards: Mutex::new(Vec::new()),
         }
     }
 
@@ -59,20 +94,29 @@ impl<Q> Instrumented<Q> {
         &self.inner
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, summed over all handle shards.
     pub fn counts(&self) -> OpCounts {
-        OpCounts {
-            inserts: self.inserts.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            empty_deletes: self.empty_deletes.load(Ordering::Relaxed),
+        let shards = self.shards.lock().unwrap();
+        let mut out = OpCounts::default();
+        for s in shards.iter() {
+            out.inserts += s.inserts.load(Ordering::Relaxed);
+            out.deletes += s.deletes.load(Ordering::Relaxed);
+            out.empty_deletes += s.empty_deletes.load(Ordering::Relaxed);
+            out.flushes += s.flushes.load(Ordering::Relaxed);
+            out.flushed_items += s.flushed_items.load(Ordering::Relaxed);
         }
+        out
     }
 
-    /// Reset all counters to zero.
+    /// Reset all counters to zero (shards of dropped handles included).
     pub fn reset_counts(&self) {
-        self.inserts.store(0, Ordering::Relaxed);
-        self.deletes.store(0, Ordering::Relaxed);
-        self.empty_deletes.store(0, Ordering::Relaxed);
+        for s in self.shards.lock().unwrap().iter() {
+            s.inserts.store(0, Ordering::Relaxed);
+            s.deletes.store(0, Ordering::Relaxed);
+            s.empty_deletes.store(0, Ordering::Relaxed);
+            s.flushes.store(0, Ordering::Relaxed);
+            s.flushed_items.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Unwrap.
@@ -83,29 +127,31 @@ impl<Q> Instrumented<Q> {
 
 /// Handle of an [`Instrumented`] queue.
 pub struct InstrumentedHandle<'a, Q: ConcurrentPq + 'a> {
-    outer: &'a Instrumented<Q>,
     inner: Q::Handle<'a>,
+    shard: Arc<CounterShard>,
 }
 
 impl<'a, Q: ConcurrentPq> PqHandle for InstrumentedHandle<'a, Q> {
     fn insert(&mut self, key: Key, value: Value) {
         self.inner.insert(key, value);
-        self.outer.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     fn delete_min(&mut self) -> Option<Item> {
         let out = self.inner.delete_min();
         if out.is_some() {
-            self.outer.deletes.fetch_add(1, Ordering::Relaxed);
+            self.shard.deletes.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.outer.empty_deletes.fetch_add(1, Ordering::Relaxed);
+            self.shard.empty_deletes.fetch_add(1, Ordering::Relaxed);
         }
         out
     }
 
-    fn flush(&mut self) {
-        // Not an operation of its own; forward without counting.
-        self.inner.flush();
+    fn flush(&mut self) -> u64 {
+        let committed = self.inner.flush();
+        self.shard.flushes.fetch_add(1, Ordering::Relaxed);
+        self.shard.flushed_items.fetch_add(committed, Ordering::Relaxed);
+        committed
     }
 }
 
@@ -116,9 +162,11 @@ impl<Q: ConcurrentPq> ConcurrentPq for Instrumented<Q> {
         Q: 'a;
 
     fn handle(&self) -> InstrumentedHandle<'_, Q> {
+        let shard = Arc::new(CounterShard::default());
+        self.shards.lock().unwrap().push(Arc::clone(&shard));
         InstrumentedHandle {
-            outer: self,
             inner: self.inner.handle(),
+            shard,
         }
     }
 
@@ -180,7 +228,9 @@ mod tests {
             OpCounts {
                 inserts: 2,
                 deletes: 2,
-                empty_deletes: 1
+                empty_deletes: 1,
+                flushes: 0,
+                flushed_items: 0,
             }
         );
         assert_eq!(c.total(), 5);
@@ -188,14 +238,91 @@ mod tests {
     }
 
     #[test]
+    fn counts_aggregate_across_handles_and_survive_drop() {
+        let q = Instrumented::new(ToyPq::default());
+        {
+            let mut h1 = q.handle();
+            let mut h2 = q.handle();
+            h1.insert(1, 1);
+            h2.insert(2, 2);
+            h2.insert(3, 3);
+        }
+        // Both handles dropped; their shards still count.
+        let c = q.counts();
+        assert_eq!(c.inserts, 3);
+        let mut h3 = q.handle();
+        assert!(h3.delete_min().is_some());
+        assert_eq!(q.counts().deletes, 1);
+        assert_eq!(q.counts().inserts, 3);
+    }
+
+    #[test]
+    fn flushes_are_counted() {
+        let q = Instrumented::new(ToyPq::default());
+        let mut h = q.handle();
+        h.insert(1, 1);
+        assert_eq!(h.flush(), 0); // ToyPq is unbuffered.
+        assert_eq!(h.flush(), 0);
+        let c = q.counts();
+        assert_eq!(c.flushes, 2);
+        assert_eq!(c.flushed_items, 0);
+        assert_eq!(c.items_per_flush(), 0.0);
+        // Flushes are not operations.
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn flushed_items_forwarded_from_inner() {
+        /// Pretends every flush committed 7 buffered items.
+        struct BufferedToy(ToyPq);
+        struct BufferedToyHandle<'a>(ToyHandle<'a>);
+        impl PqHandle for BufferedToyHandle<'_> {
+            fn insert(&mut self, key: Key, value: Value) {
+                self.0.insert(key, value);
+            }
+            fn delete_min(&mut self) -> Option<Item> {
+                self.0.delete_min()
+            }
+            fn flush(&mut self) -> u64 {
+                7
+            }
+        }
+        impl ConcurrentPq for BufferedToy {
+            type Handle<'a> = BufferedToyHandle<'a>;
+            fn handle(&self) -> BufferedToyHandle<'_> {
+                BufferedToyHandle(self.0.handle())
+            }
+            fn name(&self) -> String {
+                "buffered-toy".to_owned()
+            }
+        }
+
+        let q = Instrumented::new(BufferedToy(ToyPq::default()));
+        let mut h = q.handle();
+        assert_eq!(h.flush(), 7);
+        assert_eq!(h.flush(), 7);
+        let c = q.counts();
+        assert_eq!(c.flushes, 2);
+        assert_eq!(c.flushed_items, 14);
+        assert_eq!(c.items_per_flush(), 7.0);
+    }
+
+    #[test]
     fn reset_clears() {
         let q = Instrumented::new(ToyPq::default());
         let mut h = q.handle();
         h.insert(1, 1);
+        h.flush();
         q.reset_counts();
         assert_eq!(q.counts(), OpCounts::default());
         assert_eq!(q.name(), "toy");
         assert_eq!(q.inner().items.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shards_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<CounterShard>() % 64, 0);
+        assert!(std::mem::size_of::<CounterShard>() >= 64);
     }
 
     /// The toy double's delete must be exact-min for the wrapper tests

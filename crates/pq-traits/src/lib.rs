@@ -26,6 +26,7 @@
 
 pub mod instrument;
 pub mod item;
+pub mod telemetry;
 
 pub use instrument::{Instrumented, OpCounts};
 pub use item::{Item, Key, Value};
@@ -95,16 +96,21 @@ pub trait PqHandle {
     /// insert may not yet be visible).
     fn delete_min(&mut self) -> Option<Item>;
 
-    /// Commit any handle-buffered operations to the shared structure.
+    /// Commit any handle-buffered operations to the shared structure,
+    /// returning how many buffered items were committed.
     ///
     /// Buffering handles (e.g. the sticky MultiQueue's insertion and
     /// deletion buffers) override this to push pending inserts into the
     /// shared queue and return deletion-buffered items to it, so that no
     /// item is lost when the handle goes idle. The harness calls it at
     /// the end of every measurement window and before emptiness checks;
-    /// buffering handles must also call it on drop. Default: no-op
+    /// buffering handles must also call it on drop. The return value
+    /// feeds the [`instrument::Instrumented`] flush counters so buffer
+    /// commit frequency is observable. Default: no-op returning 0
     /// (unbuffered handles have nothing to commit).
-    fn flush(&mut self) {}
+    fn flush(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Relaxation metadata, used by the quality benchmark to compare measured

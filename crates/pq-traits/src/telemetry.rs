@@ -1,0 +1,318 @@
+//! Queue-internal contention telemetry.
+//!
+//! The paper's *explanations* for its throughput and rank-error results
+//! rest on internal events the benchmarks cannot see: CAS retries in the
+//! skiplist, spy-driven work stealing in the DLSM, lost claim races and
+//! pivot rebuilds in the SLSM, empty-looking samples and buffer flushes
+//! in the MultiQueue. This module gives every queue crate a single,
+//! dependency-free place to record those events.
+//!
+//! # Design
+//!
+//! Each recording thread owns a cache-line-aligned shard of counters
+//! (one slot per [`Event`]); shards are registered in a global list and
+//! summed on [`snapshot`]. Recording is therefore a single uncontended
+//! relaxed `fetch_add` on a thread-private cache line — no shared-line
+//! ping-pong even with dozens of threads hammering the same event.
+//!
+//! The whole module is gated on the `telemetry` cargo feature: without
+//! it, [`record`]/[`record_n`] are empty inline functions, [`snapshot`]
+//! returns all zeros, and the queue crates' unconditional call sites
+//! compile to nothing. Check [`enabled`] before paying for anything
+//! (e.g. pre-computing a count to pass to [`record_n`]).
+//!
+//! Counters are process-global, not per-queue: the harness resets them
+//! around each benchmark cell ([`reset`] … run … [`snapshot`]), which is
+//! exactly the granularity the metrics export needs.
+
+use core::sync::atomic::AtomicU64;
+
+/// A queue-internal event worth counting.
+///
+/// Each variant names the structure it belongs to; see the module docs
+/// of the recording crates (and EXPERIMENTS.md §Observability) for what
+/// each event means for the paper's explanations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Skiplist: a `find` pass had to restart from the head because a
+    /// helping unlink CAS failed.
+    SkiplistFindRestart,
+    /// Skiplist: a CAS on a node's bottom-level pointer failed (insert
+    /// publish or delete-min claim lost a race) and was retried.
+    SkiplistCasRetry,
+    /// DLSM: a deletion found its thread-local LSM empty and went
+    /// looking for a victim to spy from.
+    DlsmSpyAttempt,
+    /// DLSM: a spy attempt found a non-empty victim and stole items.
+    DlsmSpySteal,
+    /// DLSM: number of items moved by successful spies (recorded with
+    /// [`record_n`]).
+    DlsmSpyItems,
+    /// SLSM: a `try_take` on a pivot candidate failed because another
+    /// thread claimed the entry first.
+    SlsmLostRace,
+    /// SLSM: the pivot range was exhausted while live items remained and
+    /// had to be rebuilt (the k-LSM slow path).
+    SlsmPivotRebuild,
+    /// MultiQueue: a two-choice sample observed both sub-queue minima as
+    /// empty (spurious or real emptiness signal).
+    MqEmptySample,
+    /// MultiQueue (sticky): an insertion buffer was committed to a
+    /// sub-queue under one lock acquire.
+    MqBufferFlush,
+    /// MultiQueue (sticky): number of items committed by buffer flushes
+    /// (recorded with [`record_n`]).
+    MqBufferFlushItems,
+}
+
+impl Event {
+    /// Every event, in stable export order.
+    pub const ALL: [Event; 10] = [
+        Event::SkiplistFindRestart,
+        Event::SkiplistCasRetry,
+        Event::DlsmSpyAttempt,
+        Event::DlsmSpySteal,
+        Event::DlsmSpyItems,
+        Event::SlsmLostRace,
+        Event::SlsmPivotRebuild,
+        Event::MqEmptySample,
+        Event::MqBufferFlush,
+        Event::MqBufferFlushItems,
+    ];
+
+    /// Number of distinct events.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used as the JSON key in metrics exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::SkiplistFindRestart => "skiplist_find_restart",
+            Event::SkiplistCasRetry => "skiplist_cas_retry",
+            Event::DlsmSpyAttempt => "dlsm_spy_attempt",
+            Event::DlsmSpySteal => "dlsm_spy_steal",
+            Event::DlsmSpyItems => "dlsm_spy_items",
+            Event::SlsmLostRace => "slsm_lost_race",
+            Event::SlsmPivotRebuild => "slsm_pivot_rebuild",
+            Event::MqEmptySample => "mq_empty_sample",
+            Event::MqBufferFlush => "mq_buffer_flush",
+            Event::MqBufferFlushItems => "mq_buffer_flush_items",
+        }
+    }
+}
+
+/// Snapshot of every event counter, summed over all thread shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    counts: [u64; Event::COUNT],
+}
+
+impl EventCounts {
+    /// Count recorded for one event.
+    pub fn get(&self, event: Event) -> u64 {
+        self.counts[event as usize]
+    }
+
+    /// Iterate `(event, count)` pairs in [`Event::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        Event::ALL.iter().map(|&e| (e, self.get(e)))
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `true` if no event was recorded (always the case with the
+    /// `telemetry` feature disabled).
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Per-event difference `self − earlier`, saturating at zero (counts
+    /// are monotone between resets, so saturation only absorbs a
+    /// concurrent reset).
+    pub fn since(&self, earlier: &EventCounts) -> EventCounts {
+        let mut out = EventCounts::default();
+        for i in 0..Event::COUNT {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+}
+
+/// `true` when the crate was built with the `telemetry` feature, i.e.
+/// when [`record`] actually records.
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Record one occurrence of `event`.
+#[inline]
+pub fn record(event: Event) {
+    record_n(event, 1);
+}
+
+/// Record `n` occurrences of `event` (bulk counters such as
+/// [`Event::DlsmSpyItems`]).
+#[inline]
+pub fn record_n(event: Event, n: u64) {
+    imp::record_n(event, n);
+}
+
+/// Sum every thread's shard into one [`EventCounts`].
+pub fn snapshot() -> EventCounts {
+    imp::snapshot()
+}
+
+/// Zero all shards (including those of exited threads). The harness
+/// calls this before each benchmark cell.
+pub fn reset() {
+    imp::reset();
+}
+
+/// One thread's counter shard, aligned to a cache line so concurrent
+/// recording threads never share one. Kept out of the feature gate so
+/// the type (and its alignment contract) is always compiled and
+/// testable.
+#[repr(align(64))]
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+struct Shard {
+    counts: [AtomicU64; Event::COUNT],
+}
+
+impl Shard {
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    fn new() -> Self {
+        Self {
+            counts: core::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::{Event, EventCounts, Shard};
+    use core::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// All shards ever created. `Arc` keeps a shard (and its counts)
+    /// alive after its owning thread exits, so totals never regress.
+    fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static SHARD: Arc<Shard> = {
+            let shard = Arc::new(Shard::new());
+            registry().lock().unwrap().push(Arc::clone(&shard));
+            shard
+        };
+    }
+
+    #[inline]
+    pub fn record_n(event: Event, n: u64) {
+        // The shard is thread-private for writes; the atomic only makes
+        // cross-thread snapshot reads sound, it is never contended.
+        SHARD.with(|s| {
+            s.counts[event as usize].fetch_add(n, Ordering::Relaxed);
+        });
+    }
+
+    pub fn snapshot() -> EventCounts {
+        let mut out = EventCounts::default();
+        for shard in registry().lock().unwrap().iter() {
+            for e in Event::ALL {
+                out.counts[e as usize] =
+                    out.counts[e as usize].wrapping_add(shard.counts[e as usize].load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    pub fn reset() {
+        for shard in registry().lock().unwrap().iter() {
+            for c in &shard.counts {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    use super::{Event, EventCounts};
+
+    #[inline(always)]
+    pub fn record_n(_event: Event, _n: u64) {}
+
+    pub fn snapshot() -> EventCounts {
+        EventCounts::default()
+    }
+
+    pub fn reset() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut names: Vec<&str> = Event::ALL.iter().map(|e| e.name()).collect();
+        assert!(names
+            .iter()
+            .all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn shard_is_cache_line_aligned() {
+        assert_eq!(core::mem::align_of::<Shard>() % 64, 0);
+    }
+
+    #[test]
+    fn counts_since_saturates() {
+        let mut a = EventCounts::default();
+        let mut b = EventCounts::default();
+        a.counts[0] = 5;
+        b.counts[0] = 7;
+        b.counts[1] = 2;
+        let d = b.since(&a);
+        assert_eq!(d.counts[0], 2);
+        assert_eq!(d.counts[1], 2);
+        assert_eq!(a.since(&b).counts[0], 0, "negative delta saturates");
+        assert_eq!(d.total(), 4);
+        assert!(!d.is_zero());
+        assert!(EventCounts::default().is_zero());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn record_snapshot_reset_roundtrip() {
+        // Other tests in the process may record concurrently, so assert
+        // on deltas of one event from a dedicated thread.
+        let before = snapshot().get(Event::SlsmPivotRebuild);
+        std::thread::spawn(|| {
+            record(Event::SlsmPivotRebuild);
+            record_n(Event::SlsmPivotRebuild, 4);
+        })
+        .join()
+        .unwrap();
+        let after = snapshot().get(Event::SlsmPivotRebuild);
+        assert!(after >= before + 5, "after {after} < before {before} + 5");
+        assert!(enabled());
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_records_nothing() {
+        record(Event::MqEmptySample);
+        record_n(Event::MqEmptySample, 100);
+        assert!(snapshot().is_zero());
+        assert!(!enabled());
+        reset();
+    }
+}

@@ -29,6 +29,7 @@ use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use pq_traits::telemetry;
 use pq_traits::{Item, Key, Value};
 
 /// Maximum tower height. 2^20 expected items per level-20 node; ample for
@@ -163,7 +164,10 @@ impl SkipList {
                                 cur = next.with_tag(0);
                                 continue;
                             }
-                            Err(_) => continue 'retry,
+                            Err(_) => {
+                                telemetry::record(telemetry::Event::SkiplistFindRestart);
+                                continue 'retry;
+                            }
                         }
                     }
                     if cur_ref.coord() < target {
@@ -205,7 +209,10 @@ impl SkipList {
                 guard,
             ) {
                 Ok(shared) => break shared,
-                Err(e) => node = e.new,
+                Err(e) => {
+                    telemetry::record(telemetry::Event::SkiplistCasRetry);
+                    node = e.new;
+                }
             }
         };
         self.len.fetch_add(1, Ordering::Relaxed);
@@ -357,7 +364,10 @@ impl SkipList {
                 }
                 // Pointer changed (claimed by someone else or an insert
                 // landed right after `cur`): re-read the same node.
-                Err(_) => continue,
+                Err(_) => {
+                    telemetry::record(telemetry::Event::SkiplistCasRetry);
+                    continue;
+                }
             }
         }
     }
@@ -439,7 +449,10 @@ impl SkipList {
                     self.finish_claim(cur, guard);
                     return Some(item);
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    telemetry::record(telemetry::Event::SkiplistCasRetry);
+                    continue;
+                }
             }
         }
         None

@@ -4,14 +4,40 @@
 # BENCH_multiqueue.json (see crates/bench/src/bin/mq_smoke.rs) at the
 # repository root and prints the best sticky config's speedup.
 #
+# Also runs two observability checks:
+#   * instr_overhead — asserts the Instrumented wrapper costs less than
+#     INSTR_MAX_OVERHEAD_PCT (default 5) percent of plain throughput,
+#     guarding the per-handle sharded-counter design against regressions
+#     that reintroduce false sharing;
+#   * figures --metrics — produces metrics_smoke.json, the structured
+#     per-cell export (counters, time-sliced throughput, latency
+#     histograms) that CI uploads as an artifact.
+#
 # Usage: scripts/bench_smoke.sh [THREADS] [DURATION_MS]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS="${1:-4}"
 DURATION_MS="${2:-1000}"
+INSTR_MAX_OVERHEAD_PCT="${INSTR_MAX_OVERHEAD_PCT:-5}"
 
 cargo run -p pq-bench --release --offline --bin mq_smoke -- \
     --threads "$THREADS" \
     --duration-ms "$DURATION_MS" \
     --out BENCH_multiqueue.json
+
+echo "== instrumentation overhead (limit ${INSTR_MAX_OVERHEAD_PCT}%) =="
+cargo run -p pq-bench --release --offline --bin instr_overhead -- \
+    --threads "$THREADS" \
+    --duration-ms "$DURATION_MS" \
+    --max-overhead-pct "$INSTR_MAX_OVERHEAD_PCT"
+
+echo "== metrics export smoke (telemetry on) =="
+cargo run -p pq-bench --release --offline --features telemetry --bin figures -- \
+    --experiment fig4a \
+    --queues multiqueue,mq-sticky,klsm256,linden \
+    --threads 2,"$THREADS" \
+    --prefill 20000 \
+    --duration-ms 250 \
+    --reps 2 \
+    --metrics metrics_smoke.json >/dev/null

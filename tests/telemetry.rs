@@ -1,0 +1,209 @@
+//! Integration tests for the observability layer.
+//!
+//! The ungated tests reconcile the [`Instrumented`] wrapper's sharded
+//! per-handle counters against the exact operation counts the harness
+//! performed. The `telemetry`-feature-gated tests drive each queue into
+//! its instrumented slow path and check the process-global event
+//! counters move; with the feature disabled, the same call sites must
+//! compile to nothing and the snapshot stays zero.
+
+use std::sync::{Arc, Mutex};
+
+use harness::run_throughput_with;
+use pq_traits::{ConcurrentPq, Instrumented};
+use workloads::config::StopCondition;
+use workloads::{BenchConfig, KeyDistribution, Workload};
+
+type Mq = multiqueue_pq::MultiQueue<seqpq::BinaryHeap>;
+
+/// Delegating adapter so the test can keep each repetition's
+/// [`Instrumented`] queue alive (and readable) after
+/// `run_throughput_with` drops the per-rep queue it was handed.
+struct Probe(Arc<Instrumented<Mq>>);
+
+impl ConcurrentPq for Probe {
+    type Handle<'a> = <Instrumented<Mq> as ConcurrentPq>::Handle<'a>;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.handle()
+    }
+
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
+#[test]
+fn instrumented_counts_reconcile_with_harness_op_counts() {
+    const PREFILL: usize = 2_000;
+    const OPS: u64 = 5_000;
+    const THREADS: usize = 2;
+    const REPS: usize = 2;
+    let captured: Arc<Mutex<Vec<Arc<Instrumented<Mq>>>>> = Arc::new(Mutex::new(Vec::new()));
+    let cfg = BenchConfig {
+        threads: THREADS,
+        workload: Workload::Uniform,
+        key_dist: KeyDistribution::uniform(16),
+        prefill: PREFILL,
+        stop: StopCondition::OpsPerThread(OPS),
+        reps: REPS,
+        seed: 42,
+    };
+    let sink = Arc::clone(&captured);
+    let r = run_throughput_with(
+        "probe",
+        move || {
+            let q = Arc::new(Instrumented::new(Mq::new(2, THREADS)));
+            sink.lock().unwrap().push(Arc::clone(&q));
+            Probe(q)
+        },
+        &cfg,
+    );
+    // Fixed-ops mode: the harness performed exactly OPS ops per thread.
+    assert_eq!(r.per_thread_ops, vec![OPS; THREADS]);
+    let queues = captured.lock().unwrap();
+    assert_eq!(queues.len(), REPS);
+    for q in queues.iter() {
+        let c = q.counts();
+        // Every harness operation — prefill inserts plus the workload
+        // mix — went through an instrumented handle, so the wrapper's
+        // totals must reconcile exactly with the op counts the
+        // ThroughputResult reports.
+        assert_eq!(
+            c.total(),
+            PREFILL as u64 + THREADS as u64 * OPS,
+            "inserts {} + deletes {} + empty {} != prefill + threads * ops",
+            c.inserts,
+            c.deletes,
+            c.empty_deletes
+        );
+        assert!(c.inserts >= PREFILL as u64, "prefill not counted");
+        // The harness flushes each worker's handle at window end.
+        assert!(c.flushes >= THREADS as u64, "flushes {} < {THREADS}", c.flushes);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn telemetry_disabled_records_nothing_through_queues() {
+    use pq_traits::PqHandle;
+
+    let q = multiqueue_pq::MultiQueueSticky::<seqpq::BinaryHeap>::new(4, 1, 8, 16);
+    let mut h = q.handle();
+    for k in 0..100u64 {
+        h.insert(k, k);
+    }
+    h.flush();
+    while h.delete_min().is_some() {}
+    assert!(!pq_traits::telemetry::enabled());
+    assert!(pq_traits::telemetry::snapshot().is_zero());
+}
+
+#[cfg(feature = "telemetry")]
+mod events {
+    use super::Mq;
+    use pq_traits::telemetry::{self, Event};
+    use pq_traits::{ConcurrentPq, PqHandle};
+
+    // Each test below asserts on the delta of event families no other
+    // test in this binary touches, so parallel test threads cannot
+    // contaminate each other's counts.
+
+    #[test]
+    fn sticky_buffer_flush_items_match_committed_inserts() {
+        let before = telemetry::snapshot();
+        let q = multiqueue_pq::MultiQueueSticky::<seqpq::BinaryHeap>::new(4, 2, 8, 16);
+        let mut h = q.handle();
+        for k in 0..10u64 {
+            h.insert(k, k);
+        }
+        // m=16 not reached: all ten items still sit in the buffer.
+        assert_eq!(h.flush(), 10);
+        let delta = telemetry::snapshot().since(&before);
+        assert!(delta.get(Event::MqBufferFlush) >= 1);
+        assert_eq!(delta.get(Event::MqBufferFlushItems), 10);
+    }
+
+    #[test]
+    fn dlsm_spy_events_recorded() {
+        let before = telemetry::snapshot();
+        let d = klsm::dlsm::Dlsm::new(2);
+        let mut h1 = d.handle();
+        let mut h2 = d.handle();
+        for k in 0..100u64 {
+            h1.insert(k, k);
+        }
+        // h2's local LSM is empty: the deletion must spy from h1.
+        assert!(h2.delete_min().is_some());
+        let delta = telemetry::snapshot().since(&before);
+        assert!(delta.get(Event::DlsmSpyAttempt) >= 1);
+        assert!(delta.get(Event::DlsmSpySteal) >= 1);
+        assert!(delta.get(Event::DlsmSpyItems) >= 1);
+        assert!(delta.get(Event::DlsmSpyItems) <= 100);
+    }
+
+    #[test]
+    fn slsm_pivot_rebuild_recorded_on_drain() {
+        let before = telemetry::snapshot();
+        let s = klsm::slsm::Slsm::new(0);
+        let mut h = s.handle();
+        for k in 0..64u64 {
+            h.insert(k, k);
+        }
+        // k = 0 keeps the pivot range at a single item, so draining
+        // repeatedly exhausts and rebuilds it.
+        let mut drained = 0;
+        while h.delete_min().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 64);
+        let delta = telemetry::snapshot().since(&before);
+        assert!(
+            delta.get(Event::SlsmPivotRebuild) >= 1,
+            "no pivot rebuild over {drained} deletions"
+        );
+    }
+
+    #[test]
+    fn mq_empty_sample_recorded_on_empty_queue() {
+        let before = telemetry::snapshot();
+        let q = Mq::new(2, 1);
+        let mut h = q.handle();
+        assert!(h.delete_min().is_none());
+        let delta = telemetry::snapshot().since(&before);
+        assert!(delta.get(Event::MqEmptySample) >= 1);
+    }
+
+    #[test]
+    fn skiplist_contention_records_cas_retries() {
+        // CAS retries need a real race: hammer delete_min/insert pairs
+        // from several threads over a tiny key range so claims collide.
+        // One round is overwhelmingly likely to record a retry; retry a
+        // few rounds to keep the test deterministic on slow hosts.
+        let before = telemetry::snapshot();
+        for _round in 0..5 {
+            let q = skiplist_pq::LindenPq::new();
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut h = q.handle();
+                        for i in 0..10_000u64 {
+                            h.insert(i % 8, t << 32 | i);
+                            h.delete_min();
+                        }
+                    });
+                }
+            });
+            let delta = telemetry::snapshot().since(&before);
+            if delta.get(Event::SkiplistCasRetry) > 0 {
+                return;
+            }
+        }
+        let delta = telemetry::snapshot().since(&before);
+        assert!(
+            delta.get(Event::SkiplistCasRetry) > 0,
+            "no CAS retry recorded across 5 contention rounds"
+        );
+    }
+}
