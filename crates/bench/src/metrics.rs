@@ -214,6 +214,30 @@ impl MetricsReport {
         ));
     }
 
+    /// Add a checker cell: the semantic checker's per-cell report (its
+    /// own JSON object, `"kind": "checker"`), plus the telemetry events
+    /// recorded while the cell ran. Flags a warning per violating cell
+    /// so report consumers can't miss a red matrix entry.
+    pub fn push_checker_cell(&mut self, r: &checker::CheckReport, events: &EventCounts) {
+        if !r.is_clean() {
+            self.push_warning(&format!(
+                "checker violations in {} ({} t{}): {}",
+                r.queue,
+                r.workload,
+                r.threads,
+                r.violations_total()
+            ));
+        }
+        let cell = r.to_json();
+        // Splice the events object into the checker's JSON cell.
+        debug_assert!(cell.ends_with('}'));
+        self.cells.push(format!(
+            "{}, \"events\": {}}}",
+            &cell[..cell.len() - 1],
+            events_json(events),
+        ));
+    }
+
     /// Serialize the whole report.
     pub fn to_json(&self) -> String {
         let cells = self
@@ -290,6 +314,49 @@ mod tests {
             tick_ms: 10.0,
             per_rep_ticks: ticks,
         }
+    }
+
+    #[test]
+    fn checker_cell_embeds_report_and_warns_on_violations() {
+        let mut r = checker::CheckReport {
+            queue: "testq".into(),
+            threads: 2,
+            workload: "uniform".into(),
+            key_dist: "uniform20".into(),
+            seed: 7,
+            chaos_seed: Some(9),
+            inserts: 100,
+            deletes: 99,
+            empty_deletes: 3,
+            flushed_items: 0,
+            lost: 1,
+            duplicated: 0,
+            invented: 0,
+            rank_checked: 99,
+            rank_max: 4,
+            rank_mean: 0.5,
+            rank_bound: Some(0),
+            rank_bound_enforced: true,
+            rank_slack: 16,
+            rank_violations: 0,
+            strict: true,
+            monotonicity_violations: 0,
+            residual_order_violations: 0,
+        };
+        let mut m = MetricsReport::new("checker_stress");
+        m.push_checker_cell(&r, &EventCounts::default());
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains("\"kind\": \"checker\""));
+        assert!(json.contains("\"chaos_seed\": 9"));
+        assert!(json.contains("\"events\": {"));
+        assert!(json.contains("checker violations in testq"));
+        // A clean report adds no warning.
+        r.lost = 0;
+        let mut clean = MetricsReport::new("checker_stress");
+        clean.push_checker_cell(&r, &EventCounts::default());
+        assert!(!clean.to_json().contains("checker violations"));
+        assert_balanced(&clean.to_json());
     }
 
     #[test]

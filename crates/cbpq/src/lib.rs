@@ -371,6 +371,16 @@ impl RelaxationBound for Cbpq {
     fn rank_bound(&self, _threads: usize) -> Option<u64> {
         Some(0) // strict up to in-flight operations
     }
+
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        // Best-effort claim only: a deleter that pinned the head chunk
+        // just before a freeze can still FAA into the superseded sorted
+        // array while the collector has already merged smaller buffered
+        // items into the replacement head. The semantic checker observes
+        // rare deep deletions (depth ≲ chunk size) under schedule
+        // perturbation through exactly this window.
+        false
+    }
 }
 
 // SAFETY: shared state is epoch-protected or atomic.

@@ -1,0 +1,267 @@
+//! Intentionally broken queue wrappers for mutation-testing the
+//! checker.
+//!
+//! A checker that never fires is indistinguishable from one that
+//! cannot fire. Each wrapper here injects one specific violation class
+//! into an otherwise-correct queue — items silently dropped, items
+//! returned twice, deletions far beyond the declared rank bound — and
+//! the checker's test suite asserts every class is detected with a
+//! non-zero violation count. The wrappers forward [`RelaxationBound`]
+//! unchanged, so a bound violation is judged against the *inner*
+//! queue's claim, exactly as a real bug would be.
+//!
+//! The recording wrapper goes **outside** the mutant
+//! (`Recorded<ItemDuplicator<Q>>`): the mutant's internal compensating
+//! operations (re-inserting a duplicated or spuriously popped item
+//! through the inner handle) are invisible to the history, just like a
+//! real lost-update bug inside a queue.
+
+use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
+
+/// Silently discards every `every`-th insert per handle: the checker
+/// must report the discarded items as **lost**.
+pub struct ItemDropper<Q> {
+    inner: Q,
+    every: u64,
+}
+
+impl<Q> ItemDropper<Q> {
+    /// Wrap `inner`, dropping every `every`-th insert (per handle).
+    pub fn new(inner: Q, every: u64) -> Self {
+        Self {
+            inner,
+            every: every.max(1),
+        }
+    }
+}
+
+/// Handle for [`ItemDropper`].
+pub struct ItemDropperHandle<'a, Q: ConcurrentPq + 'a> {
+    inner: Q::Handle<'a>,
+    every: u64,
+    ctr: u64,
+}
+
+impl<Q: ConcurrentPq> ConcurrentPq for ItemDropper<Q> {
+    type Handle<'a>
+        = ItemDropperHandle<'a, Q>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ItemDropperHandle {
+            inner: self.inner.handle(),
+            every: self.every,
+            ctr: 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}+drop", self.inner.name())
+    }
+}
+
+impl<Q: ConcurrentPq> PqHandle for ItemDropperHandle<'_, Q> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.ctr += 1;
+        if self.ctr.is_multiple_of(self.every) {
+            return; // the bug: pretend it was inserted
+        }
+        self.inner.insert(key, value);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        self.inner.delete_min()
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.inner.flush()
+    }
+}
+
+impl<Q: RelaxationBound> RelaxationBound for ItemDropper<Q> {
+    fn rank_bound(&self, threads: usize) -> Option<u64> {
+        self.inner.rank_bound(threads)
+    }
+
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        self.inner.rank_bound_is_guaranteed()
+    }
+}
+
+/// Covertly re-inserts every `every`-th successfully deleted item, so
+/// it is eventually returned twice: the checker must report
+/// **duplicated** items.
+pub struct ItemDuplicator<Q> {
+    inner: Q,
+    every: u64,
+}
+
+impl<Q> ItemDuplicator<Q> {
+    /// Wrap `inner`, duplicating every `every`-th successful delete
+    /// (per handle).
+    pub fn new(inner: Q, every: u64) -> Self {
+        Self {
+            inner,
+            every: every.max(1),
+        }
+    }
+}
+
+/// Handle for [`ItemDuplicator`].
+pub struct ItemDuplicatorHandle<'a, Q: ConcurrentPq + 'a> {
+    inner: Q::Handle<'a>,
+    every: u64,
+    ctr: u64,
+}
+
+impl<Q: ConcurrentPq> ConcurrentPq for ItemDuplicator<Q> {
+    type Handle<'a>
+        = ItemDuplicatorHandle<'a, Q>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        ItemDuplicatorHandle {
+            inner: self.inner.handle(),
+            every: self.every,
+            ctr: 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}+dup", self.inner.name())
+    }
+}
+
+impl<Q: ConcurrentPq> PqHandle for ItemDuplicatorHandle<'_, Q> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.inner.insert(key, value);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        let got = self.inner.delete_min();
+        if let Some(item) = got {
+            self.ctr += 1;
+            if self.ctr.is_multiple_of(self.every) {
+                // The bug: the item stays in the queue after being
+                // returned. Goes through the inner handle, so the
+                // history never sees this insert.
+                self.inner.insert(item.key, item.value);
+            }
+        }
+        got
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.inner.flush()
+    }
+}
+
+impl<Q: RelaxationBound> RelaxationBound for ItemDuplicator<Q> {
+    fn rank_bound(&self, threads: usize) -> Option<u64> {
+        self.inner.rank_bound(threads)
+    }
+
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        self.inner.rank_bound_is_guaranteed()
+    }
+}
+
+/// On every `every`-th delete, pops up to `depth` items and returns the
+/// *largest*, silently re-inserting the rest: the returned item's rank
+/// is ≈ `depth − 1`, far beyond any strict or small relaxed bound, so
+/// the checker must report **rank violations** (while conservation
+/// stays clean — nothing is lost or duplicated).
+pub struct BoundViolator<Q> {
+    inner: Q,
+    every: u64,
+    depth: usize,
+}
+
+impl<Q> BoundViolator<Q> {
+    /// Wrap `inner`, returning an item of rank ≈ `depth − 1` on every
+    /// `every`-th delete (per handle).
+    pub fn new(inner: Q, every: u64, depth: usize) -> Self {
+        Self {
+            inner,
+            every: every.max(1),
+            depth: depth.max(2),
+        }
+    }
+}
+
+/// Handle for [`BoundViolator`].
+pub struct BoundViolatorHandle<'a, Q: ConcurrentPq + 'a> {
+    inner: Q::Handle<'a>,
+    every: u64,
+    depth: usize,
+    ctr: u64,
+}
+
+impl<Q: ConcurrentPq> ConcurrentPq for BoundViolator<Q> {
+    type Handle<'a>
+        = BoundViolatorHandle<'a, Q>
+    where
+        Self: 'a;
+
+    fn handle(&self) -> Self::Handle<'_> {
+        BoundViolatorHandle {
+            inner: self.inner.handle(),
+            every: self.every,
+            depth: self.depth,
+            ctr: 0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}+rank", self.inner.name())
+    }
+}
+
+impl<Q: ConcurrentPq> PqHandle for BoundViolatorHandle<'_, Q> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.inner.insert(key, value);
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        self.ctr += 1;
+        if !self.ctr.is_multiple_of(self.every) {
+            return self.inner.delete_min();
+        }
+        // The bug: dig `depth` items deep and return the worst one,
+        // putting the rest back through the inner handle (invisible to
+        // the history, so conservation holds).
+        let mut popped: Vec<Item> = Vec::with_capacity(self.depth);
+        for _ in 0..self.depth {
+            match self.inner.delete_min() {
+                Some(item) => popped.push(item),
+                None => break,
+            }
+        }
+        let worst_idx = popped
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, item)| **item)
+            .map(|(i, _)| i)?;
+        let worst = popped.swap_remove(worst_idx);
+        for item in popped {
+            self.inner.insert(item.key, item.value);
+        }
+        Some(worst)
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.inner.flush()
+    }
+}
+
+impl<Q: RelaxationBound> RelaxationBound for BoundViolator<Q> {
+    fn rank_bound(&self, threads: usize) -> Option<u64> {
+        self.inner.rank_bound(threads)
+    }
+
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        self.inner.rank_bound_is_guaranteed()
+    }
+}

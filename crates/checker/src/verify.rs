@@ -1,0 +1,387 @@
+//! History verification: conservation, rank-bound replay, and
+//! strict-order spot checks.
+
+use std::collections::HashMap;
+
+use pq_traits::{Item, Op, RelaxationBound};
+use seqpq::OsTreap;
+
+use crate::scenario::{CheckConfig, ScenarioHistory};
+
+/// Extra rank allowance on top of a queue's declared bound, absorbing
+/// the stamping noise the interval replay cannot eliminate: an
+/// operation's effect lands anywhere between its invocation and
+/// completion stamps, so up to `threads − 1` in-flight peers can
+/// distort a deletion's observed rank at *both* interval endpoints.
+/// `4·threads` with a floor of 16 separates real bound violations (the
+/// mutation wrappers produce ranks ≳ 60) from that noise with margin
+/// on both sides.
+pub fn rank_slack(threads: usize) -> u64 {
+    (4 * threads as u64).max(16)
+}
+
+/// Result of checking one scenario's history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckReport {
+    /// Queue display name.
+    pub queue: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Workload name (operation mix).
+    pub workload: String,
+    /// Key distribution name.
+    pub key_dist: String,
+    /// Scenario master seed.
+    pub seed: u64,
+    /// Chaos seed the cell ran under, if perturbation was on.
+    pub chaos_seed: Option<u64>,
+
+    /// Recorded insert operations (prefill + mixed phase).
+    pub inserts: u64,
+    /// Recorded successful deletions (all phases).
+    pub deletes: u64,
+    /// Recorded `delete_min() == None` observations.
+    pub empty_deletes: u64,
+    /// Total items reported committed by `flush()` calls.
+    pub flushed_items: u64,
+
+    /// Items inserted but never deleted (still "in" the queue after the
+    /// residual sweep claimed emptiness) — lost.
+    pub lost: u64,
+    /// Deletions of an item beyond its insert count — duplicated.
+    pub duplicated: u64,
+    /// Deletions of an item that was never inserted — invented.
+    pub invented: u64,
+
+    /// Deletions replayed against the reference order-statistic treap.
+    pub rank_checked: u64,
+    /// Largest observed rank.
+    pub rank_max: u64,
+    /// Mean observed rank.
+    pub rank_mean: f64,
+    /// The queue's declared bound for this thread count (`None` =
+    /// unbounded; rank violations are then not counted).
+    pub rank_bound: Option<u64>,
+    /// Whether the declared bound is a guaranteed per-operation bound.
+    /// Probabilistic reference curves (the SprayList) are reported but
+    /// not enforced — exceeding them is expected tail behavior, not a
+    /// violation.
+    pub rank_bound_enforced: bool,
+    /// Slack added to the bound before flagging (see [`rank_slack`]).
+    pub rank_slack: u64,
+    /// Deletions whose rank exceeded `bound + slack`.
+    pub rank_violations: u64,
+
+    /// Whether strict-order spot checks applied (declared bound 0).
+    pub strict: bool,
+    /// Strict queues: drain-phase deletions within one thread that went
+    /// backwards (smaller key after larger).
+    pub monotonicity_violations: u64,
+    /// Strict queues: out-of-order deletions in the single-threaded
+    /// residual sweep (must be exactly sorted).
+    pub residual_order_violations: u64,
+}
+
+impl CheckReport {
+    /// Sum of all violation counters.
+    pub fn violations_total(&self) -> u64 {
+        self.lost
+            + self.duplicated
+            + self.invented
+            + self.rank_violations
+            + self.monotonicity_violations
+            + self.residual_order_violations
+    }
+
+    /// `true` when every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations_total() == 0
+    }
+
+    /// The deterministic subset of the report: cell identity plus
+    /// violation counters. Two runs of the same cell with the same
+    /// seeds must produce byte-identical strings — statistics like mean
+    /// rank, which legitimately vary with interleaving, are excluded.
+    pub fn violation_json(&self) -> String {
+        format!(
+            "{{\"queue\": \"{}\", \"threads\": {}, \"workload\": \"{}\", \
+             \"key_dist\": \"{}\", \"seed\": {}, \"chaos_seed\": {}, \
+             \"lost\": {}, \"duplicated\": {}, \"invented\": {}, \
+             \"rank_violations\": {}, \"monotonicity_violations\": {}, \
+             \"residual_order_violations\": {}}}",
+            json_escape(&self.queue),
+            self.threads,
+            json_escape(&self.workload),
+            json_escape(&self.key_dist),
+            self.seed,
+            self.chaos_seed
+                .map_or("null".to_owned(), |s| s.to_string()),
+            self.lost,
+            self.duplicated,
+            self.invented,
+            self.rank_violations,
+            self.monotonicity_violations,
+            self.residual_order_violations,
+        )
+    }
+
+    /// Full JSON object for this cell (superset of
+    /// [`CheckReport::violation_json`], plus run statistics).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\": \"checker\", \"queue\": \"{}\", \"threads\": {}, \
+             \"workload\": \"{}\", \"key_dist\": \"{}\", \"seed\": {}, \
+             \"chaos_seed\": {}, \"inserts\": {}, \"deletes\": {}, \
+             \"empty_deletes\": {}, \"flushed_items\": {}, \
+             \"rank_checked\": {}, \"rank_max\": {}, \"rank_mean\": {}, \
+             \"rank_bound\": {}, \"rank_bound_enforced\": {}, \
+             \"rank_slack\": {}, \"strict\": {}, \
+             \"violations\": {}}}",
+            json_escape(&self.queue),
+            self.threads,
+            json_escape(&self.workload),
+            json_escape(&self.key_dist),
+            self.seed,
+            self.chaos_seed
+                .map_or("null".to_owned(), |s| s.to_string()),
+            self.inserts,
+            self.deletes,
+            self.empty_deletes,
+            self.flushed_items,
+            self.rank_checked,
+            self.rank_max,
+            if self.rank_mean.is_finite() {
+                format!("{:.6}", self.rank_mean)
+            } else {
+                "null".to_owned()
+            },
+            self.rank_bound
+                .map_or("null".to_owned(), |b| b.to_string()),
+            self.rank_bound_enforced,
+            self.rank_slack,
+            self.strict,
+            self.violation_json(),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Verify one recorded scenario against the queue's declared semantics.
+///
+/// Checks, in order:
+/// 1. **Conservation** — the multiset of deleted items equals the
+///    multiset of inserted items (the scenario ends with a residual
+///    sweep to emptiness, so nothing may remain): shortfalls are
+///    *lost*, excesses of inserted items are *duplicated*, deletions
+///    of unknown items are *invented*.
+/// 2. **Rank replay** — all records merged by logical timestamp and
+///    replayed against an order-statistic treap; each deletion's rank
+///    (count of strictly smaller keys present, taken as the minimum
+///    over the operation's invocation/completion interval so in-flight
+///    concurrency cannot masquerade as relaxation) must stay within
+///    the declared [`RelaxationBound`] plus [`rank_slack`].
+/// 3. **Strict spot checks** (declared bound 0 only) — per-thread
+///    drain-phase deletions are non-decreasing, and the single-threaded
+///    residual sweep is exactly sorted.
+pub fn check<Q: RelaxationBound>(
+    queue_name: &str,
+    queue: &Q,
+    cfg: &CheckConfig,
+    scenario: &ScenarioHistory,
+    chaos_seed: Option<u64>,
+) -> CheckReport {
+    let threads = cfg.threads.max(1);
+    let bound = queue.rank_bound(threads);
+    let enforced = queue.rank_bound_is_guaranteed();
+    let slack = rank_slack(threads);
+    let strict = bound == Some(0) && enforced;
+
+    let mut report = CheckReport {
+        queue: queue_name.to_owned(),
+        threads: cfg.threads,
+        workload: cfg.workload.name(),
+        key_dist: cfg.key_dist.name(),
+        seed: cfg.seed,
+        chaos_seed,
+        inserts: 0,
+        deletes: 0,
+        empty_deletes: 0,
+        flushed_items: 0,
+        lost: 0,
+        duplicated: 0,
+        invented: 0,
+        rank_checked: 0,
+        rank_max: 0,
+        rank_mean: 0.0,
+        rank_bound: bound,
+        rank_bound_enforced: enforced,
+        rank_slack: slack,
+        rank_violations: 0,
+        strict,
+        monotonicity_violations: 0,
+        residual_order_violations: 0,
+    };
+
+    // --- Strict per-thread order (uses per-handle record streams,
+    // which are in program order by construction). The concurrent
+    // drain-phase check is opt-in (`cfg.strict_drain_check`): queues
+    // that are strict only up to in-flight operations (hunt, mound,
+    // cbpq) may reorder within a thread under contention, but the
+    // single-threaded residual sweep must be sorted for every
+    // declared-strict queue.
+    if strict {
+        for history in &scenario.histories {
+            let mut prev: Option<Item> = None;
+            for rec in history {
+                if rec.ts < scenario.drain_start {
+                    continue; // mixed phase: concurrent inserts allowed
+                }
+                if rec.ts < scenario.residual_start && !cfg.strict_drain_check {
+                    continue; // concurrent drain: check not requested
+                }
+                if let Op::DeleteMin(Some(item)) = rec.op {
+                    if let Some(p) = prev {
+                        if item.key < p.key {
+                            if rec.ts >= scenario.residual_start {
+                                report.residual_order_violations += 1;
+                            } else {
+                                report.monotonicity_violations += 1;
+                            }
+                        }
+                    }
+                    prev = Some(item);
+                }
+            }
+        }
+    }
+
+    // --- Merge all records into one replay stream. Each record is
+    // processed at its unique completion stamp; each successful
+    // deletion additionally gets a probe point at its invocation stamp,
+    // where its would-be rank is sampled *before* any operation that
+    // completed later takes effect. An op whose invocation load
+    // returned `v` started after every op with completion stamp `< v`
+    // had finished, so probes sort before same-valued completions.
+    enum Ev {
+        Probe { key: u64, del: usize },
+        Commit { rec_idx: usize },
+    }
+    let records: Vec<_> = scenario.histories.iter().flatten().copied().collect();
+    let mut events: Vec<(u64, u8, Ev)> = Vec::with_capacity(records.len() * 2);
+    // Sampled invocation-time rank, indexed like `records` (only delete
+    // records' slots are used).
+    let mut start_ranks: Vec<u64> = vec![0; records.len()];
+    for (rec_idx, rec) in records.iter().enumerate() {
+        if let Op::DeleteMin(Some(item)) = rec.op {
+            events.push((
+                rec.start,
+                0,
+                Ev::Probe {
+                    key: item.key,
+                    del: rec_idx,
+                },
+            ));
+        }
+        events.push((rec.ts, 1, Ev::Commit { rec_idx }));
+    }
+    events.sort_unstable_by_key(|&(at, kind, _)| (at, kind));
+
+    // --- Conservation multisets + rank replay in one sweep.
+    let mut ins_count: HashMap<Item, u64> = HashMap::new();
+    let mut del_count: HashMap<Item, u64> = HashMap::new();
+    // Deletions observed before their insert's (later) timestamp; the
+    // matching insert annihilates against this instead of the treap.
+    let mut pending: HashMap<Item, u64> = HashMap::new();
+    let mut treap = OsTreap::new();
+    let mut rank_sum = 0u64;
+
+    for (_, _, ev) in &events {
+        let rec_idx = match ev {
+            Ev::Probe { key, del } => {
+                start_ranks[*del] = treap.rank_of(&Item::new(*key, 0));
+                continue;
+            }
+            Ev::Commit { rec_idx } => *rec_idx,
+        };
+        let rec = &records[rec_idx];
+        match rec.op {
+            Op::Insert(item) => {
+                report.inserts += 1;
+                *ins_count.entry(item).or_default() += 1;
+                match pending.get_mut(&item) {
+                    Some(n) => {
+                        *n -= 1;
+                        if *n == 0 {
+                            pending.remove(&item);
+                        }
+                    }
+                    None => treap.insert_item(item),
+                }
+            }
+            Op::DeleteMin(Some(item)) => {
+                report.deletes += 1;
+                *del_count.entry(item).or_default() += 1;
+                let start_rank = start_ranks[rec_idx];
+                // Rank before removal: strictly smaller keys present.
+                // The effect landed somewhere in [start, ts]; an
+                // interval endpoint where the rank was small exonerates
+                // the queue (e.g. items inserted while this delete was
+                // in flight inflate the completion-time rank but not
+                // the invocation-time one), so judge the minimum.
+                let end_rank = treap.rank_of(&Item::new(item.key, 0));
+                if treap.remove_item(&item).is_some() {
+                    let rank = start_rank.min(end_rank);
+                    report.rank_checked += 1;
+                    rank_sum += rank;
+                    report.rank_max = report.rank_max.max(rank);
+                    if let (true, Some(b)) = (enforced, bound) {
+                        if rank > b + slack {
+                            report.rank_violations += 1;
+                        }
+                    }
+                } else {
+                    // Timestamp inversion (or an invented item, which
+                    // conservation flags below).
+                    *pending.entry(item).or_default() += 1;
+                }
+            }
+            Op::DeleteMin(None) => report.empty_deletes += 1,
+            Op::Flush(n) => report.flushed_items += n,
+        }
+    }
+    if report.rank_checked > 0 {
+        report.rank_mean = rank_sum as f64 / report.rank_checked as f64;
+    }
+
+    // --- Conservation verdicts.
+    for (item, &dels) in &del_count {
+        let ins = ins_count.get(item).copied().unwrap_or(0);
+        if dels > ins {
+            if ins == 0 {
+                report.invented += dels;
+            } else {
+                report.duplicated += dels - ins;
+            }
+        }
+    }
+    for (item, &ins) in &ins_count {
+        let dels = del_count.get(item).copied().unwrap_or(0);
+        if ins > dels {
+            report.lost += ins - dels;
+        }
+    }
+
+    report
+}

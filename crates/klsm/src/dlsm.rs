@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use lsm::Lsm;
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
 use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
 
@@ -29,18 +30,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct Dlsm {
     slots: Box<[CachePadded<Mutex<Lsm>>]>,
     next_slot: AtomicUsize,
+    seed: u64,
 }
 
 impl Dlsm {
     /// Create a DLSM with `max_threads` slots. Each call to
     /// [`ConcurrentPq::handle`] claims one slot; claiming more panics.
     pub fn new(max_threads: usize) -> Self {
+        Self::with_seed(max_threads, DEFAULT_QUEUE_SEED)
+    }
+
+    /// As [`Dlsm::new`], with an explicit queue seed for the per-handle
+    /// RNGs (the slot index doubles as the handle index, so victim
+    /// selection during spying replays deterministically).
+    pub fn with_seed(max_threads: usize, seed: u64) -> Self {
         assert!(max_threads > 0, "DLSM needs at least one slot");
         Self {
             slots: (0..max_threads)
                 .map(|_| CachePadded::new(Mutex::new(Lsm::new())))
                 .collect(),
             next_slot: AtomicUsize::new(0),
+            seed,
         }
     }
 
@@ -172,10 +182,11 @@ impl ConcurrentPq for Dlsm {
     type Handle<'a> = DlsmHandle<'a>;
 
     fn handle(&self) -> DlsmHandle<'_> {
+        let slot = self.claim_slot();
         DlsmHandle {
             dlsm: self,
-            slot: self.claim_slot(),
-            rng: SmallRng::from_entropy(),
+            slot,
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, slot as u64)),
         }
     }
 

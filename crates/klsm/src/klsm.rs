@@ -10,9 +10,12 @@
 //! Deletions therefore skip at most `k(P-1)` items via the DLSM component
 //! plus at most `k` via the SLSM — `kP` in total.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, SequentialPq, Value};
 
 use crate::dlsm::Dlsm;
@@ -27,17 +30,28 @@ pub struct Klsm {
     dlsm: Dlsm,
     slsm: Slsm,
     k: usize,
+    seed: u64,
+    handle_ctr: AtomicU64,
 }
 
 impl Klsm {
     /// Create a k-LSM with relaxation parameter `k` (> 0) for up to
     /// `max_threads` threads. The paper evaluates k ∈ {128, 256, 4096}.
     pub fn new(k: usize, max_threads: usize) -> Self {
+        Self::with_seed(k, max_threads, DEFAULT_QUEUE_SEED)
+    }
+
+    /// As [`Klsm::new`], with an explicit queue seed for the per-handle
+    /// RNGs (handle `i` gets `seed ⊕ mix(i)`), so merge/spy tie-breaks
+    /// replay deterministically.
+    pub fn with_seed(k: usize, max_threads: usize, seed: u64) -> Self {
         assert!(k > 0, "k-LSM requires k > 0");
         Self {
-            dlsm: Dlsm::new(max_threads),
-            slsm: Slsm::new(k),
+            dlsm: Dlsm::with_seed(max_threads, seed ^ 0xD15A),
+            slsm: Slsm::with_seed(k, seed ^ 0x515A),
             k,
+            seed,
+            handle_ctr: AtomicU64::new(0),
         }
     }
 
@@ -112,10 +126,11 @@ impl ConcurrentPq for Klsm {
     type Handle<'a> = KlsmHandle<'a>;
 
     fn handle(&self) -> KlsmHandle<'_> {
+        let idx = self.handle_ctr.fetch_add(1, Ordering::Relaxed);
         KlsmHandle {
             q: self,
             slot: self.dlsm.claim_slot(),
-            rng: SmallRng::from_entropy(),
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, idx)),
         }
     }
 

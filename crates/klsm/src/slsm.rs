@@ -14,13 +14,14 @@
 //! pointer, so every operation is lock-free: a failed CAS means another
 //! thread made progress.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
 use pq_traits::telemetry;
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
 
@@ -70,16 +71,27 @@ pub struct Slsm {
     /// successful takes. Used only for emptiness detection.
     live: AtomicUsize,
     k: usize,
+    seed: u64,
+    handle_ctr: AtomicU64,
 }
 
 impl Slsm {
     /// Create an empty SLSM with relaxation parameter `k` (deletions skip
     /// at most `k` items). `k = 0` gives strict semantics.
     pub fn new(k: usize) -> Self {
+        Self::with_seed(k, DEFAULT_QUEUE_SEED)
+    }
+
+    /// As [`Slsm::new`], with an explicit queue seed for the per-handle
+    /// RNGs (handle `i` gets `seed ⊕ mix(i)`), so relaxed pivot picks
+    /// replay deterministically.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
         Self {
             list: Atomic::new(BlockList::empty()),
             live: AtomicUsize::new(0),
             k,
+            seed,
+            handle_ctr: AtomicU64::new(0),
         }
     }
 
@@ -356,9 +368,10 @@ impl ConcurrentPq for Slsm {
     type Handle<'a> = SlsmHandle<'a>;
 
     fn handle(&self) -> SlsmHandle<'_> {
+        let idx = self.handle_ctr.fetch_add(1, Ordering::Relaxed);
         SlsmHandle {
             slsm: self,
-            rng: SmallRng::from_entropy(),
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, idx)),
         }
     }
 

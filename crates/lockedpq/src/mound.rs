@@ -27,7 +27,9 @@ use rand::{Rng, SeedableRng};
 
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Depth of the complete tree. 2^15 − 1 nodes; node lists are unbounded,
 /// so this does not cap capacity, it only bounds insertion scattering.
@@ -49,14 +51,26 @@ fn head_key(list: &NodeList) -> Key {
 pub struct Mound {
     nodes: Box<[Mutex<NodeList>]>,
     len: AtomicUsize,
+    seed: u64,
+    handle_ctr: AtomicU64,
 }
 
 impl Mound {
-    /// Create an empty mound.
+    /// Create an empty mound with the default deterministic seed (the
+    /// per-handle leaf-probe RNGs derive from it, so the deletion order
+    /// among equal keys replays run-to-run).
     pub fn new() -> Self {
+        Self::with_seed(DEFAULT_QUEUE_SEED)
+    }
+
+    /// Create an empty mound whose handle RNGs derive from `seed`
+    /// (handle `i` gets `seed ⊕ mix(i)`).
+    pub fn with_seed(seed: u64) -> Self {
         Self {
             nodes: (0..NODES).map(|_| Mutex::new(Vec::new())).collect(),
             len: AtomicUsize::new(0),
+            seed,
+            handle_ctr: AtomicU64::new(0),
         }
     }
 
@@ -247,9 +261,10 @@ impl ConcurrentPq for Mound {
     type Handle<'a> = MoundHandle<'a>;
 
     fn handle(&self) -> MoundHandle<'_> {
+        let idx = self.handle_ctr.fetch_add(1, Ordering::Relaxed);
         MoundHandle {
             mound: self,
-            rng: SmallRng::from_entropy(),
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, idx)),
         }
     }
 

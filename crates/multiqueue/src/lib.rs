@@ -35,16 +35,9 @@ use seqpq::BinaryHeap;
 /// Sentinel stored in the cached-minimum atomic of an empty sub-queue.
 pub(crate) const EMPTY_MIN: u64 = u64::MAX;
 
-/// Default queue seed; handle RNGs derive deterministically from
-/// `queue seed ⊕ handle counter` so quality/rank-error runs are
-/// reproducible run-to-run.
-pub(crate) const DEFAULT_SEED: u64 = 0x5EED_4D51;
-
-/// Mix a handle index into a queue seed (splitmix-style odd constant so
-/// consecutive handles land in unrelated RNG streams).
-pub(crate) fn handle_seed(queue_seed: u64, handle_idx: u64) -> u64 {
-    queue_seed ^ handle_idx.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+// Deterministic per-handle seeding, now hoisted into `pq_traits::seed`
+// so every queue crate shares one mixing function.
+pub(crate) use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED as DEFAULT_SEED};
 
 pub(crate) struct SubQueue<P: SequentialPq> {
     pub(crate) heap: Mutex<P>,

@@ -24,12 +24,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod history;
 pub mod instrument;
 pub mod item;
+pub mod seed;
 pub mod telemetry;
 
+pub use history::{Op, OpRecord, Recorded, RecordedHandle};
 pub use instrument::{Instrumented, OpCounts};
 pub use item::{Item, Key, Value};
+pub use seed::{handle_seed, DEFAULT_QUEUE_SEED};
 
 /// A sequential priority queue over `(Key, Value)` pairs.
 ///
@@ -121,4 +126,15 @@ pub trait RelaxationBound {
     /// number of participating threads. `Some(0)` means strict semantics;
     /// `None` means no bound is claimed (e.g. the MultiQueue).
     fn rank_bound(&self, threads: usize) -> Option<u64>;
+
+    /// Whether [`RelaxationBound::rank_bound`] is a *guaranteed*
+    /// per-operation bound — one a semantic checker may enforce on every
+    /// deletion — as opposed to a probabilistic or expected reference
+    /// curve (the SprayList's `O(P log³ P)` holds only with high
+    /// probability, so individual deletions may land deeper). Defaults
+    /// to `true`; queues whose bound is a curve, not a contract, must
+    /// override.
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        true
+    }
 }

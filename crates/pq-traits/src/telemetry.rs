@@ -15,11 +15,14 @@
 //! relaxed `fetch_add` on a thread-private cache line — no shared-line
 //! ping-pong even with dozens of threads hammering the same event.
 //!
-//! The whole module is gated on the `telemetry` cargo feature: without
-//! it, [`record`]/[`record_n`] are empty inline functions, [`snapshot`]
-//! returns all zeros, and the queue crates' unconditional call sites
-//! compile to nothing. Check [`enabled`] before paying for anything
-//! (e.g. pre-computing a count to pass to [`record_n`]).
+//! The counters are gated on the `telemetry` cargo feature: without
+//! it, [`snapshot`] returns all zeros and the counting side of
+//! [`record`]/[`record_n`] compiles to nothing. What always remains is
+//! the [`crate::chaos`] hook — one relaxed load per call site — so the
+//! schedule-perturbation stress layer can piggyback on these same
+//! slow-path markers without a separate build. Check [`enabled`]
+//! before paying for anything (e.g. pre-computing a count to pass to
+//! [`record_n`]).
 //!
 //! Counters are process-global, not per-queue: the harness resets them
 //! around each benchmark cell ([`reset`] … run … [`snapshot`]), which is
@@ -154,8 +157,16 @@ pub fn record(event: Event) {
 
 /// Record `n` occurrences of `event` (bulk counters such as
 /// [`Event::DlsmSpyItems`]).
+///
+/// Also the hook point for the schedule-perturbation shim: every
+/// recorded event is forwarded to [`crate::chaos::on_event`], which
+/// costs one relaxed load while chaos is disabled (the default) and
+/// may inject a yield or bounded spin while a stress run has it on.
+/// Chaos is independent of the `telemetry` feature — the events mark
+/// the interesting slow-path transitions either way.
 #[inline]
 pub fn record_n(event: Event, n: u64) {
+    crate::chaos::on_event(event);
     imp::record_n(event, n);
 }
 

@@ -14,24 +14,38 @@
 //! The queue is strict: `delete_min` returns the minimal item in some
 //! linearization (rank bound 0).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
 
 use crate::list::SkipList;
 
 /// Strict, lock-free, linearizable skiplist priority queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LindenPq {
     list: SkipList,
+    seed: u64,
+    handle_ctr: AtomicU64,
 }
 
 impl LindenPq {
-    /// Create an empty queue.
+    /// Create an empty queue with the default deterministic seed (the
+    /// per-handle tower-height RNGs derive from it, so runs replay).
     pub fn new() -> Self {
+        Self::with_seed(DEFAULT_QUEUE_SEED)
+    }
+
+    /// Create an empty queue whose handle RNGs derive from `seed`
+    /// (handle `i` gets `seed ⊕ mix(i)`).
+    pub fn with_seed(seed: u64) -> Self {
         Self {
             list: SkipList::new(),
+            seed,
+            handle_ctr: AtomicU64::new(0),
         }
     }
 
@@ -43,6 +57,12 @@ impl LindenPq {
     /// Smallest item without removing it.
     pub fn peek_min(&self) -> Option<Item> {
         self.list.peek_min()
+    }
+}
+
+impl Default for LindenPq {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -66,9 +86,10 @@ impl ConcurrentPq for LindenPq {
     type Handle<'a> = LindenHandle<'a>;
 
     fn handle(&self) -> LindenHandle<'_> {
+        let idx = self.handle_ctr.fetch_add(1, Ordering::Relaxed);
         LindenHandle {
             list: &self.list,
-            rng: SmallRng::from_entropy(),
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, idx)),
         }
     }
 

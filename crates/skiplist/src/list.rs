@@ -386,12 +386,37 @@ impl SkipList {
             if let Some(item) = self.try_spray(rng, spray_height, max_jump, guard) {
                 return Some(item);
             }
-            if self.len_hint() == 0 {
+            // Emptiness must be decided on the bottom level, not on
+            // `len_hint`: an inserter publishes its bottom-level CAS
+            // before incrementing the counter, so a relaxed count of 0
+            // can coexist with a live, linked node — and returning
+            // `None` then would terminate a harness phase early.
+            if self.bottom_is_empty(guard) {
                 return None;
             }
         }
         // Fallback keeps the operation lock-free overall.
         self.delete_min()
+    }
+
+    /// `true` iff the bottom level holds no live (unmarked) node — the
+    /// authoritative emptiness signal, in contrast to the relaxed
+    /// [`SkipList::len_hint`] counter which lags behind published
+    /// inserts.
+    fn bottom_is_empty(&self, guard: &epoch::Guard) -> bool {
+        let mut cur = self.head[0].load(Ordering::Acquire, guard);
+        loop {
+            // SAFETY: protected by `guard`.
+            let Some(cur_ref) = (unsafe { cur.as_ref() }) else {
+                return true;
+            };
+            let next = cur_ref.tower[0].load(Ordering::Acquire, guard);
+            if next.tag() == MARK {
+                cur = next.with_tag(0);
+                continue;
+            }
+            return false;
+        }
     }
 
     fn try_spray<'g>(
@@ -533,6 +558,30 @@ mod tests {
         assert_eq!(l.delete_min(), None);
         assert_eq!(l.peek_min(), None);
         assert!(l.is_empty_hint());
+    }
+
+    #[test]
+    fn spray_delete_ignores_stale_len_counter() {
+        // Regression: `insert` publishes its bottom-level CAS before
+        // incrementing `len`, so a concurrent spray can observe
+        // `len_hint() == 0` with a live node already linked. Reproduce
+        // that window deterministically by rolling the counter back and
+        // assert spray_delete still finds the item instead of reporting
+        // a false empty.
+        let l = SkipList::new();
+        let mut r = rng();
+        l.insert(17, 170, &mut r);
+        l.len.store(0, Ordering::Relaxed);
+        assert_eq!(l.len_hint(), 0, "test precondition: counter lags");
+        assert_eq!(
+            l.spray_delete(&mut r, 4),
+            Some(Item::new(17, 170)),
+            "spray_delete must probe the bottom level, not the counter"
+        );
+        // Restore the counter invariant (the successful delete above
+        // decremented it past zero in wrapping arithmetic).
+        l.len.store(0, Ordering::Relaxed);
+        assert_eq!(l.spray_delete(&mut r, 4), None, "now truly empty");
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //! reclamation removes the memory-management races), so we report all of
 //! them and note the difference in EXPERIMENTS.md.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use pq_traits::seed::{handle_seed, DEFAULT_QUEUE_SEED};
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, RelaxationBound, Value};
 
 use crate::list::SkipList;
@@ -26,15 +29,27 @@ use crate::list::SkipList;
 pub struct SprayList {
     list: SkipList,
     threads: usize,
+    seed: u64,
+    handle_ctr: AtomicU64,
 }
 
 impl SprayList {
     /// Create an empty SprayList tuned for `threads` participants (the
-    /// spray height and jump lengths scale with `log₂ threads`).
+    /// spray height and jump lengths scale with `log₂ threads`), with
+    /// the default deterministic seed for the per-handle spray RNGs.
     pub fn new(threads: usize) -> Self {
+        Self::with_seed(threads, DEFAULT_QUEUE_SEED)
+    }
+
+    /// Create an empty SprayList whose handle RNGs derive from `seed`
+    /// (handle `i` gets `seed ⊕ mix(i)`), making spray walks — and so
+    /// quality runs — reproducible.
+    pub fn with_seed(threads: usize, seed: u64) -> Self {
         Self {
             list: SkipList::new(),
             threads: threads.max(1),
+            seed,
+            handle_ctr: AtomicU64::new(0),
         }
     }
 
@@ -69,9 +84,10 @@ impl ConcurrentPq for SprayList {
     type Handle<'a> = SprayHandle<'a>;
 
     fn handle(&self) -> SprayHandle<'_> {
+        let idx = self.handle_ctr.fetch_add(1, Ordering::Relaxed);
         SprayHandle {
             q: self,
-            rng: SmallRng::from_entropy(),
+            rng: SmallRng::seed_from_u64(handle_seed(self.seed, idx)),
         }
     }
 
@@ -87,6 +103,13 @@ impl RelaxationBound for SprayList {
         let p = threads.max(2) as u64;
         let log_p = 64 - p.leading_zeros() as u64;
         Some(p * log_p * log_p * log_p)
+    }
+
+    fn rank_bound_is_guaranteed(&self) -> bool {
+        // The curve above is w.h.p. only: a spray walk over random
+        // towers can land arbitrarily deep, so per-deletion enforcement
+        // would flag correct behavior.
+        false
     }
 }
 

@@ -32,6 +32,18 @@ cargo run -p pq-bench --release --offline --bin instr_overhead -- \
     --duration-ms "$DURATION_MS" \
     --max-overhead-pct "$INSTR_MAX_OVERHEAD_PCT"
 
+echo "== semantic checker smoke (one chaos cell + mutation tests) =="
+# One strict and one relaxed queue through the recorded checker under
+# seeded schedule perturbation, plus the three broken-wrapper mutation
+# tests; fails on any violation, determinism mismatch, or a mutant the
+# checker does not catch. Full matrix: cargo run ... --bin checker_stress.
+cargo run -p pq-bench --release --offline --bin checker_stress -- \
+    --threads "$THREADS" \
+    --queue linden --queue multiqueue \
+    --chaos-seed 7 \
+    --mutation-test \
+    --metrics BENCH_checker_smoke.json
+
 echo "== metrics export smoke (telemetry on) =="
 cargo run -p pq-bench --release --offline --features telemetry --bin figures -- \
     --experiment fig4a \
