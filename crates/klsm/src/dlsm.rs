@@ -103,38 +103,22 @@ impl Dlsm {
             if guard.is_empty() {
                 continue;
             }
-            let all = guard.take_all_sorted();
             // Alternate items so both threads keep a sample of the full
             // key range (stealing a contiguous suffix would hand one
             // thread only large keys). A single remaining item is stolen
-            // outright so a victim can always be fully drained.
-            let (keep, steal): (Vec<Item>, Vec<Item>) = if all.len() == 1 {
-                (Vec::new(), all)
-            } else {
-                type Indexed = Vec<(usize, Item)>;
-                let (k, s): (Indexed, Indexed) =
-                    all.into_iter().enumerate().partition(|(i, _)| i % 2 == 0);
-                (
-                    k.into_iter().map(|(_, it)| it).collect(),
-                    s.into_iter().map(|(_, it)| it).collect(),
-                )
-            };
-            if !keep.is_empty() {
-                *guard = Lsm::from_sorted(keep);
-            }
+            // outright so a victim can always be fully drained. The
+            // split is one pass through the victim's pool-recycled
+            // buffers; the victim's LSM (and its pool) stay in place.
+            let steal = guard.split_alternating();
             drop(guard);
             debug_assert!(!steal.is_empty());
             let stolen = steal.len();
             telemetry::record(telemetry::Event::DlsmSpySteal);
             telemetry::record_n(telemetry::Event::DlsmSpyItems, stolen as u64);
+            // Install the sorted loot as one bulk merge instead of
+            // per-item insert cascades.
             let mut own = self.slots[slot].lock();
-            if own.is_empty() {
-                *own = Lsm::from_sorted(steal);
-            } else {
-                for it in steal {
-                    own.insert(it.key, it.value);
-                }
-            }
+            own.merge_in_sorted(steal);
             return stolen;
         }
         0

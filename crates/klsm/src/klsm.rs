@@ -93,7 +93,8 @@ impl PqHandle for KlsmHandle<'_> {
             }
         });
         if let Some(batch) = evicted {
-            self.q.slsm.insert_batch(batch);
+            // Evicted blocks are already sorted; skip the batch sort.
+            self.q.slsm.insert_sorted_batch(batch);
         }
     }
 

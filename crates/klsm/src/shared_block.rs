@@ -117,20 +117,38 @@ impl SharedBlock {
     /// child.
     pub fn merge(a: &SharedBlock, b: &SharedBlock) -> Arc<Self> {
         let mut entries = Vec::with_capacity(a.len_hint() + b.len_hint());
-        let mut ia = a.live_entries().peekable();
-        let mut ib = b.live_entries().peekable();
+        // Cursor merge over the raw entry arrays (same kernel shape as
+        // `lsm::Block::merge_into`): taken entries are skipped inline,
+        // so no filtering iterator adaptors sit on the hot loop.
+        let (ea, eb) = (&a.entries, &b.entries);
+        let mut i = a.first.load(Ordering::Relaxed).min(ea.len());
+        let mut j = b.first.load(Ordering::Relaxed).min(eb.len());
         loop {
-            match (ia.peek(), ib.peek()) {
-                (Some(x), Some(y)) => {
-                    if x.item <= y.item {
-                        entries.push(*ia.next().expect("peeked"));
+            while i < ea.len() && ea[i].is_taken() {
+                i += 1;
+            }
+            while j < eb.len() && eb[j].is_taken() {
+                j += 1;
+            }
+            match (i < ea.len(), j < eb.len()) {
+                (true, true) => {
+                    if ea[i].item <= eb[j].item {
+                        entries.push(ea[i]);
+                        i += 1;
                     } else {
-                        entries.push(*ib.next().expect("peeked"));
+                        entries.push(eb[j]);
+                        j += 1;
                     }
                 }
-                (Some(_), None) => entries.extend(ia.by_ref().copied()),
-                (None, Some(_)) => entries.extend(ib.by_ref().copied()),
-                (None, None) => break,
+                (true, false) => {
+                    entries.push(ea[i]);
+                    i += 1;
+                }
+                (false, true) => {
+                    entries.push(eb[j]);
+                    j += 1;
+                }
+                (false, false) => break,
             }
         }
         let segments: Box<[Arc<Segment>]> = a

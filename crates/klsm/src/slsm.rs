@@ -109,10 +109,18 @@ impl Slsm {
     /// new block; equal-capacity blocks are merged copy-on-write and the
     /// pivot range is recomputed before the new list is published.
     pub fn insert_batch(&self, mut items: Vec<Item>) {
+        items.sort_unstable();
+        self.insert_sorted_batch(items);
+    }
+
+    /// As [`Slsm::insert_batch`] for an already-sorted batch, skipping
+    /// the sort. The k-LSM eviction path lands here: blocks popped from
+    /// a thread-local LSM are sorted by construction.
+    pub fn insert_sorted_batch(&self, items: Vec<Item>) {
         if items.is_empty() {
             return;
         }
-        items.sort_unstable();
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
         let n = items.len();
         let new_block = SharedBlock::from_batch(&items);
         let guard = epoch::pin();

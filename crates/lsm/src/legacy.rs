@@ -1,0 +1,243 @@
+//! The pre-pool LSM kernels, frozen for A/B benchmarking.
+//!
+//! [`LegacyLsm`] is the sequential LSM exactly as it stood before the
+//! block pool landed: every singleton insert allocates a fresh `Vec`,
+//! every cascade merge allocates its output and drops its sources,
+//! compaction copies to a new vector, `restore_distinct_capacities`
+//! shifts the block vector with `remove`/`insert` and restarts its sweep
+//! from the end, draining collects and sorts, and the largest block is
+//! removed from the vector front. The `lsm_kernels` microbenchmark in
+//! `pq-bench` runs it against [`crate::Lsm`] to quantify what the pooled,
+//! allocation-free kernels buy; it is not used by any queue.
+
+use pq_traits::{Item, Key, SequentialPq, Value};
+
+/// Pre-pool sorted block: identical storage, allocating kernels.
+#[derive(Clone, Debug)]
+struct LegacyBlock {
+    items: Vec<Item>,
+    first: usize,
+    capacity: usize,
+}
+
+impl LegacyBlock {
+    fn singleton(item: Item) -> Self {
+        Self {
+            items: vec![item],
+            first: 0,
+            capacity: 1,
+        }
+    }
+
+    fn from_sorted(items: Vec<Item>) -> Self {
+        let capacity = items.len().next_power_of_two();
+        Self {
+            items,
+            first: 0,
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len() - self.first
+    }
+
+    fn is_empty(&self) -> bool {
+        self.first >= self.items.len()
+    }
+
+    fn peek(&self) -> Option<Item> {
+        self.items.get(self.first).copied()
+    }
+
+    fn pop_front(&mut self) -> Option<Item> {
+        let item = self.items.get(self.first).copied()?;
+        self.first += 1;
+        Some(item)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Item> {
+        self.items[self.first..].iter()
+    }
+
+    /// Two-way merge into a *fresh* vector; sources dropped.
+    fn merge(a: LegacyBlock, b: LegacyBlock) -> LegacyBlock {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let mut ia = a.items[a.first..].iter().copied().peekable();
+        let mut ib = b.items[b.first..].iter().copied().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        out.push(x);
+                        ia.next();
+                    } else {
+                        out.push(y);
+                        ib.next();
+                    }
+                }
+                (Some(_), None) => out.extend(ia.by_ref()),
+                (None, Some(_)) => out.extend(ib.by_ref()),
+                (None, None) => break,
+            }
+        }
+        LegacyBlock::from_sorted(out)
+    }
+
+    /// Copying compaction: live items into a fresh vector.
+    fn compact(self) -> LegacyBlock {
+        let live: Vec<Item> = self.items[self.first..].to_vec();
+        LegacyBlock::from_sorted(live)
+    }
+
+    fn into_sorted_items(mut self) -> Vec<Item> {
+        self.items.drain(..self.first);
+        self.items
+    }
+}
+
+/// The sequential LSM with the pre-pool kernels. Same semantics as
+/// [`crate::Lsm`]; only the memory management differs.
+#[derive(Clone, Debug, Default)]
+pub struct LegacyLsm {
+    /// Sorted by strictly decreasing capacity.
+    blocks: Vec<LegacyBlock>,
+    len: usize,
+}
+
+impl LegacyLsm {
+    /// Create an empty legacy LSM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain all live items, sorted ascending, by collecting and
+    /// sorting (the pre-pool drain kernel).
+    pub fn take_all_sorted(&mut self) -> Vec<Item> {
+        let mut all: Vec<Item> = self.blocks.iter().flat_map(|b| b.iter()).copied().collect();
+        all.sort_unstable();
+        self.blocks.clear();
+        self.len = 0;
+        all
+    }
+
+    /// Remove and return the largest block's live items, shifting the
+    /// whole block vector (the pre-pool eviction kernel).
+    pub fn pop_largest_block(&mut self) -> Option<Vec<Item>> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let block = self.blocks.remove(0);
+        self.len -= block.len();
+        Some(block.into_sorted_items())
+    }
+
+    fn restore_distinct_capacities(&mut self) {
+        let mut i = self.blocks.len();
+        while i >= 2 {
+            let a = self.blocks[i - 2].capacity;
+            let b = self.blocks[i - 1].capacity;
+            if b >= a {
+                let small = self.blocks.remove(i - 1);
+                let big = self.blocks.remove(i - 2);
+                let merged = LegacyBlock::merge(big, small);
+                let pos = self
+                    .blocks
+                    .iter()
+                    .position(|blk| blk.capacity <= merged.capacity)
+                    .unwrap_or(self.blocks.len());
+                self.blocks.insert(pos, merged);
+                i = self.blocks.len();
+            } else {
+                i -= 1;
+            }
+        }
+    }
+
+    fn shrink_at(&mut self, idx: usize) {
+        if self.blocks[idx].is_empty() {
+            self.blocks.remove(idx);
+            return;
+        }
+        if self.blocks[idx].len() * 2 > self.blocks[idx].capacity {
+            return;
+        }
+        let block = self.blocks.remove(idx);
+        let shrunk = block.compact();
+        let pos = self
+            .blocks
+            .iter()
+            .position(|blk| blk.capacity <= shrunk.capacity)
+            .unwrap_or(self.blocks.len());
+        self.blocks.insert(pos, shrunk);
+        self.restore_distinct_capacities();
+    }
+}
+
+impl SequentialPq for LegacyLsm {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.blocks.push(LegacyBlock::singleton(Item::new(key, value)));
+        self.len += 1;
+        self.restore_distinct_capacities();
+    }
+
+    fn delete_min(&mut self) -> Option<Item> {
+        let mut best: Option<(usize, Item)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let Some(head) = b.peek() {
+                if best.is_none_or(|(_, cur)| head < cur) {
+                    best = Some((i, head));
+                }
+            }
+        }
+        let (idx, item) = best?;
+        self.blocks[idx].pop_front();
+        self.len -= 1;
+        self.shrink_at(idx);
+        Some(item)
+    }
+
+    fn peek_min(&self) -> Option<Item> {
+        self.blocks.iter().filter_map(LegacyBlock::peek).min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_sorted_output() {
+        let mut l = LegacyLsm::new();
+        let keys = [13u64, 7, 42, 1, 99, 3, 56, 21, 0, 77];
+        for &k in &keys {
+            l.insert(k, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn legacy_drain_and_evict() {
+        let mut l = LegacyLsm::new();
+        for k in 0..64u64 {
+            l.insert(k, 0);
+        }
+        let bulk = l.pop_largest_block().unwrap();
+        assert!(bulk.windows(2).all(|w| w[0] <= w[1]));
+        let rest = l.take_all_sorted();
+        assert_eq!(bulk.len() + rest.len(), 64);
+        assert!(l.is_empty());
+    }
+}

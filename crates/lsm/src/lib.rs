@@ -12,34 +12,66 @@
 //! Both k-LSM components reuse this structure: the DLSM holds one LSM per
 //! thread, and the SLSM publishes immutable LSM blocks behind an epoch.
 //! This crate is purely sequential; `&mut self` everywhere.
+//!
+//! # Memory management
+//!
+//! Every block buffer is drawn from and recycled into a per-LSM
+//! [`BlockPool`] (see [`pool`]), so the insert/delete steady state
+//! performs no heap allocation: singleton inserts reuse one-slot
+//! buffers, the merge cascade recycles its sources, and compaction
+//! happens in place. `cargo test -p lsm --test alloc_free` proves this
+//! with a counting global allocator. [`legacy::LegacyLsm`] preserves the
+//! pre-pool kernels for A/B benchmarks (`lsm_kernels` in `pq-bench`).
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod legacy;
+pub mod pool;
 
 pub use block::Block;
+pub use pool::{BlockPool, PoolStats};
+
+use std::collections::VecDeque;
 
 use pq_traits::{Item, Key, SequentialPq, Value};
 
 /// Sequential LSM priority queue.
 ///
-/// Blocks are kept sorted by strictly decreasing capacity; the last block
-/// is the smallest. Insertion appends a singleton block and merges equal
-/// capacities right-to-left, so insertion cost is O(log n) amortized and
+/// Blocks are kept sorted by strictly decreasing capacity in a deque:
+/// the front block is the largest (popped wholesale by the k-LSM's
+/// eviction) and the back block is the smallest (where insertions
+/// cascade). Insertion appends a singleton block and merges the tail run
+/// right-to-left, so insertion cost is O(log n) amortized and
 /// `delete_min` is O(log n) worst case (scan of ≤ log n block heads).
 #[derive(Clone, Debug, Default)]
 pub struct Lsm {
-    /// Sorted by strictly decreasing capacity.
-    blocks: Vec<Block>,
+    /// Sorted by strictly decreasing capacity; front is largest.
+    blocks: VecDeque<Block>,
+    /// `heads[i]` mirrors `blocks[i]`'s smallest live item. `delete_min`
+    /// and `peek_min` scan this dense array instead of dereferencing
+    /// every block's buffer — one or two contiguous cache lines instead
+    /// of a scattered load per block.
+    heads: Vec<Item>,
     len: usize,
+    pool: BlockPool,
 }
 
 impl Lsm {
     /// Create an empty LSM.
     pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty LSM whose pool never recycles buffers (every
+    /// structural change allocates, as pre-pool). The "pool off" arm of
+    /// the allocation ablation; kernels are otherwise identical.
+    pub fn with_pool_disabled() -> Self {
         Self {
-            blocks: Vec::new(),
+            blocks: VecDeque::new(),
+            heads: Vec::new(),
             len: 0,
+            pool: BlockPool::disabled(),
         }
     }
 
@@ -52,17 +84,14 @@ impl Lsm {
 
     /// Build an LSM from already-sorted items as a single block.
     pub fn from_sorted(items: Vec<Item>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
-        if items.is_empty() {
-            return Self::new();
-        }
-        let len = items.len();
-        let mut lsm = Self {
-            blocks: vec![Block::from_sorted(items)],
-            len,
-        };
-        lsm.restore_distinct_capacities();
+        let mut lsm = Self::new();
+        lsm.rebuild_from_sorted(items);
         lsm
+    }
+
+    /// Pool hit/miss/recycling counters for this LSM.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Number of blocks currently held. At most ⌈log₂ n⌉ + 1.
@@ -83,73 +112,184 @@ impl Lsm {
     /// Remove and return the live items of the block with the *largest*
     /// capacity, sorted ascending. Used by the k-LSM to evict the bulk of
     /// a thread-local LSM into the shared LSM when it exceeds `k` items.
+    /// O(1) structural cost: the largest block sits at the deque front.
     pub fn pop_largest_block(&mut self) -> Option<Vec<Item>> {
-        if self.blocks.is_empty() {
-            return None;
-        }
-        let block = self.blocks.remove(0);
+        let block = self.blocks.pop_front()?;
+        // Front-shift of at most ~log n cached heads; eviction is rare.
+        self.heads.remove(0);
         self.len -= block.len();
         Some(block.into_sorted_items())
     }
 
-    /// Drain all live items, sorted ascending. Used by DLSM spying.
+    /// Drain all live items, sorted ascending, via a k-way merge of the
+    /// already-sorted blocks (no collect-then-sort). Used by DLSM
+    /// spying. The drained block buffers are recycled into the pool.
     pub fn take_all_sorted(&mut self) -> Vec<Item> {
-        let mut all: Vec<Item> = self.iter().copied().collect();
-        all.sort_unstable();
-        self.blocks.clear();
+        match self.blocks.len() {
+            0 => return Vec::new(),
+            1 => {
+                let block = self.blocks.pop_back().expect("one block");
+                self.heads.clear();
+                self.len = 0;
+                return block.into_sorted_items();
+            }
+            _ => {}
+        }
+        let mut out = self.pool.acquire(self.len);
+        // ≤ ⌈log₂ n⌉ + 1 blocks on a 64-bit machine, so fixed cursors.
+        let mut cursors = [0usize; usize::BITS as usize + 1];
+        let nb = self.blocks.len();
+        debug_assert!(nb <= cursors.len());
+        loop {
+            let mut best: Option<(usize, Item)> = None;
+            for (i, block) in self.blocks.iter().enumerate() {
+                let live = block.live_slice();
+                if let Some(&head) = live.get(cursors[i]) {
+                    if best.is_none_or(|(_, cur)| head < cur) {
+                        best = Some((i, head));
+                    }
+                }
+            }
+            match best {
+                Some((i, item)) => {
+                    out.push(item);
+                    cursors[i] += 1;
+                }
+                None => break,
+            }
+        }
+        debug_assert_eq!(out.len(), self.len);
+        for _ in 0..nb {
+            let block = self.blocks.pop_back().expect("counted");
+            self.pool.release(block.into_buffer());
+        }
+        self.heads.clear();
         self.len = 0;
-        all
+        out
     }
 
-    /// Merge neighbouring blocks until all capacities are distinct,
-    /// maintaining the decreasing-capacity order.
-    fn restore_distinct_capacities(&mut self) {
-        // Only the tail can violate distinctness (insertions append the
-        // smallest block), but deletions may shrink interior blocks, so we
-        // sweep from the back.
-        let mut i = self.blocks.len();
-        while i >= 2 {
-            let a = self.blocks[i - 2].capacity();
-            let b = self.blocks[i - 1].capacity();
-            if b >= a {
-                let small = self.blocks.remove(i - 1);
-                let big = self.blocks.remove(i - 2);
-                let merged = Block::merge(big, small);
-                // Re-insert at the position keeping capacities decreasing.
-                let pos = self
-                    .blocks
-                    .iter()
-                    .position(|blk| blk.capacity() <= merged.capacity())
-                    .unwrap_or(self.blocks.len());
-                self.blocks.insert(pos, merged);
-                i = self.blocks.len();
-            } else {
-                i -= 1;
-            }
+    /// Replace this LSM's contents with `items` (already sorted), keeping
+    /// the pool. Existing block buffers are recycled.
+    pub fn rebuild_from_sorted(&mut self, items: Vec<Item>) {
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        while let Some(block) = self.blocks.pop_back() {
+            self.pool.release(block.into_buffer());
+        }
+        self.heads.clear();
+        self.len = items.len();
+        if !items.is_empty() {
+            let block = Block::from_sorted(items);
+            self.heads.push(block.head());
+            self.blocks.push_back(block);
         }
         debug_assert!(self.check_invariants());
     }
 
-    /// Compact away a block that has decayed below half its capacity
-    /// (deletions shrink blocks in place; the paper's invariant is
-    /// restored lazily here).
+    /// Merge a sorted batch into this LSM as one bulk operation: the
+    /// current contents are drained (k-way merge) and two-way merged with
+    /// `items` through the pool, instead of `items.len()` separate
+    /// insert cascades. Used by DLSM spying to install stolen items.
+    pub fn merge_in_sorted(&mut self, items: Vec<Item>) {
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        if items.is_empty() {
+            return;
+        }
+        if self.len == 0 {
+            self.rebuild_from_sorted(items);
+            return;
+        }
+        let mine = self.take_all_sorted();
+        let merged = Block::merge_into(
+            Block::from_sorted(mine),
+            Block::from_sorted(items),
+            &mut self.pool,
+        );
+        self.len = merged.len();
+        self.heads.push(merged.head());
+        self.blocks.push_back(merged);
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Split for work stealing: drain everything, keep the even-indexed
+    /// items (so both sides retain a sample of the full key range,
+    /// including the minimum) and return the odd-indexed ones, sorted. A
+    /// single remaining item is returned outright so a victim can always
+    /// be fully drained. One pass, all buffers drawn from the pool.
+    pub fn split_alternating(&mut self) -> Vec<Item> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let all = self.take_all_sorted();
+        if all.len() == 1 {
+            return all;
+        }
+        let mut keep = self.pool.acquire(all.len().div_ceil(2));
+        let mut steal = self.pool.acquire(all.len() / 2);
+        for (i, &item) in all.iter().enumerate() {
+            if i % 2 == 0 {
+                keep.push(item);
+            } else {
+                steal.push(item);
+            }
+        }
+        self.pool.release(all);
+        self.len = keep.len();
+        let block = Block::from_sorted(keep);
+        self.heads.push(block.head());
+        self.blocks.push_back(block);
+        debug_assert!(self.check_invariants());
+        steal
+    }
+
+    /// Merge the tail run until all capacities are distinct again after
+    /// an insertion appended a singleton: a single right-to-left cascade
+    /// of pop/merge/push steps at the deque back. Each merge of two
+    /// equal-capacity blocks (both filled past half) yields exactly the
+    /// doubled capacity, so violations can only ever sit at the tail —
+    /// no interior shifting, no restarts.
+    fn restore_distinct_capacities(&mut self) {
+        let n = self.blocks.len();
+        if n < 2 || self.blocks[n - 1].capacity() < self.blocks[n - 2].capacity() {
+            debug_assert!(self.check_invariants());
+            return;
+        }
+        // Carry the merged block in a local across cascade levels
+        // instead of round-tripping it through the deques at each one.
+        let mut carried = self.blocks.pop_back().expect("len >= 2");
+        let mut carried_head = self.heads.pop().expect("mirrors blocks");
+        while let Some(prev) = self.blocks.back() {
+            if prev.capacity() > carried.capacity() {
+                break;
+            }
+            let prev = self.blocks.pop_back().expect("checked non-empty");
+            let prev_head = self.heads.pop().expect("mirrors blocks");
+            carried_head = carried_head.min(prev_head);
+            carried = Block::merge_into(prev, carried, &mut self.pool);
+        }
+        self.blocks.push_back(carried);
+        self.heads.push(carried_head);
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Compact a non-empty block that has decayed to half its capacity
+    /// or below (deletions shrink blocks in place; the paper's invariant
+    /// is restored lazily here). Compaction happens in the block's own
+    /// buffer; if the shrunken capacity collides with the right
+    /// neighbour, one pairwise merge restores distinctness — the fill
+    /// invariant guarantees the result cannot conflict any further
+    /// (merged capacity ≥ the neighbour's but ≤ the pre-shrink one).
     fn shrink_at(&mut self, idx: usize) {
-        if self.blocks[idx].is_empty() {
-            self.blocks.remove(idx);
-            return;
+        self.blocks[idx].compact_in_place();
+        if idx + 1 < self.blocks.len()
+            && self.blocks[idx + 1].capacity() >= self.blocks[idx].capacity()
+        {
+            let right = self.blocks.remove(idx + 1).expect("index in range");
+            self.heads.remove(idx + 1);
+            let left = std::mem::replace(&mut self.blocks[idx], Block::placeholder());
+            self.blocks[idx] = Block::merge_into(left, right, &mut self.pool);
+            self.heads[idx] = self.blocks[idx].head();
         }
-        if self.blocks[idx].len() * 2 > self.blocks[idx].capacity() {
-            return;
-        }
-        let block = self.blocks.remove(idx);
-        let shrunk = block.compact();
-        let pos = self
-            .blocks
-            .iter()
-            .position(|blk| blk.capacity() <= shrunk.capacity())
-            .unwrap_or(self.blocks.len());
-        self.blocks.insert(pos, shrunk);
-        self.restore_distinct_capacities();
+        debug_assert!(self.check_invariants());
     }
 
     /// Verify the paper's structural invariants (tests only):
@@ -159,43 +299,87 @@ impl Lsm {
     pub fn check_invariants(&self) -> bool {
         let caps_decreasing = self
             .blocks
-            .windows(2)
-            .all(|w| w[0].capacity() > w[1].capacity());
+            .iter()
+            .zip(self.blocks.iter().skip(1))
+            .all(|(a, b)| a.capacity() > b.capacity());
         let fill_ok = self
             .blocks
             .iter()
             .all(|b| b.len() * 2 > b.capacity() && b.len() <= b.capacity() && b.is_sorted());
         let len_ok = self.len == self.blocks.iter().map(Block::len).sum::<usize>();
-        caps_decreasing && fill_ok && len_ok
+        let heads_ok = self.heads.len() == self.blocks.len()
+            && self
+                .heads
+                .iter()
+                .zip(self.blocks.iter())
+                .all(|(&h, b)| b.peek() == Some(h));
+        caps_decreasing && fill_ok && len_ok && heads_ok
     }
 }
 
 impl SequentialPq for Lsm {
     fn insert(&mut self, key: Key, value: Value) {
-        self.blocks.push(Block::singleton(Item::new(key, value)));
+        let item = Item::new(key, value);
         self.len += 1;
-        self.restore_distinct_capacities();
+        // Half of all inserts land next to a capacity-1 tail block and
+        // immediately merge with it. Doing that pairwise merge inline —
+        // one compare, two stores — skips materializing the new
+        // singleton and the generic merge kernel for the hottest
+        // cascade level; the cascade then continues from capacity 2.
+        if self.blocks.back().is_some_and(|b| b.capacity() == 1) {
+            let old = self.blocks.pop_back().expect("checked non-empty");
+            self.heads.pop();
+            let prev = old.head();
+            let (lo, hi) = if item <= prev { (item, prev) } else { (prev, item) };
+            let mut buf = self.pool.acquire(2);
+            buf.push(lo);
+            buf.push(hi);
+            self.pool.release(old.into_buffer());
+            self.blocks.push_back(Block::from_sorted(buf));
+            self.heads.push(lo);
+            self.restore_distinct_capacities();
+        } else {
+            let singleton = Block::singleton_from(&mut self.pool, item);
+            self.blocks.push_back(singleton);
+            self.heads.push(item);
+        }
     }
 
     fn delete_min(&mut self) -> Option<Item> {
-        let mut best: Option<(usize, Item)> = None;
-        for (i, b) in self.blocks.iter().enumerate() {
-            if let Some(head) = b.peek() {
-                if best.is_none_or(|(_, cur)| head < cur) {
-                    best = Some((i, head));
-                }
+        // Scan the dense head mirror, not the blocks: the whole scan
+        // reads a few contiguous cache lines and dereferences exactly
+        // one block buffer (the winner's), instead of chasing every
+        // block's heap buffer for its head.
+        let mut best = *self.heads.first()?;
+        let mut idx = 0;
+        for (i, &h) in self.heads.iter().enumerate().skip(1) {
+            if h < best {
+                best = h;
+                idx = i;
             }
         }
-        let (idx, item) = best?;
-        self.blocks[idx].pop_front();
+        debug_assert_eq!(self.blocks[idx].peek(), Some(best));
+        let block = &mut self.blocks[idx];
+        block.drop_front();
         self.len -= 1;
-        self.shrink_at(idx);
+        if block.is_empty() {
+            let empty = self.blocks.remove(idx).expect("index in range");
+            self.heads.remove(idx);
+            self.pool.release(empty.into_buffer());
+        } else {
+            // The winner's next head sits adjacent to the popped item —
+            // almost always the same cache line.
+            self.heads[idx] = block.head();
+            if 2 * block.len() <= block.capacity() {
+                self.shrink_at(idx);
+            }
+        }
         debug_assert!(self.check_invariants());
-        Some(item)
+        Some(best)
     }
 
     fn peek_min(&self) -> Option<Item> {
-        self.blocks.iter().filter_map(Block::peek).min()
+        self.heads.iter().min().copied()
     }
 
     fn len(&self) -> usize {
@@ -203,7 +387,10 @@ impl SequentialPq for Lsm {
     }
 
     fn clear(&mut self) {
-        self.blocks.clear();
+        while let Some(block) = self.blocks.pop_back() {
+            self.pool.release(block.into_buffer());
+        }
+        self.heads.clear();
         self.len = 0;
     }
 }
@@ -294,6 +481,115 @@ mod tests {
     }
 
     #[test]
+    fn take_all_sorted_merges_many_blocks() {
+        // Interleave inserts and deletes to build a multi-block shape,
+        // then check the k-way merge output exactly.
+        let mut l = Lsm::new();
+        let mut expect = Vec::new();
+        for k in 0..100u64 {
+            let key = (k * 37) % 256;
+            l.insert(key, k);
+            expect.push(Item::new(key, k));
+        }
+        for _ in 0..23 {
+            let it = l.delete_min().unwrap();
+            let pos = expect.iter().position(|&e| e == it).unwrap();
+            expect.remove(pos);
+        }
+        assert!(l.block_count() > 1, "want a multi-block merge");
+        let all = l.take_all_sorted();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn steady_state_hits_the_pool() {
+        let mut l = Lsm::new();
+        for k in 0..512u64 {
+            l.insert(k, 0);
+        }
+        for k in 0..10_000u64 {
+            l.insert(k % 997, 0);
+            l.delete_min();
+        }
+        let stats = l.pool_stats();
+        assert!(
+            stats.hit_rate() > 0.9,
+            "steady state should recycle nearly every buffer: {stats:?}"
+        );
+        assert!(stats.recycled_bytes > 0);
+    }
+
+    #[test]
+    fn pool_disabled_still_correct() {
+        let mut l = Lsm::with_pool_disabled();
+        for k in (0..200u64).rev() {
+            l.insert(k, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+        assert_eq!(l.pool_stats().hits, 0);
+    }
+
+    #[test]
+    fn rebuild_keeps_pool_and_contents() {
+        let mut l = Lsm::new();
+        for k in 0..64u64 {
+            l.insert(k, 0);
+        }
+        l.rebuild_from_sorted((10..20).map(|k| Item::new(k, 1)).collect());
+        assert_eq!(l.len(), 10);
+        assert!(l.check_invariants());
+        assert_eq!(l.peek_min(), Some(Item::new(10, 1)));
+        // The old buffers were recycled, not leaked to the allocator.
+        assert!(l.pool_stats().recycled_bytes > 0);
+    }
+
+    #[test]
+    fn merge_in_sorted_bulk_installs() {
+        let mut l = Lsm::new();
+        for k in [5u64, 9, 1] {
+            l.insert(k, 0);
+        }
+        l.merge_in_sorted(vec![Item::new(2, 1), Item::new(7, 1)]);
+        assert_eq!(l.len(), 5);
+        assert!(l.check_invariants());
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        assert_eq!(out, vec![1, 2, 5, 7, 9]);
+        // Merging into an empty LSM installs directly.
+        let mut e = Lsm::new();
+        e.merge_in_sorted(vec![Item::new(3, 0)]);
+        assert_eq!(e.len(), 1);
+        e.merge_in_sorted(Vec::new());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn split_alternating_halves() {
+        let mut l = Lsm::new();
+        for k in 0..101u64 {
+            l.insert(k, k);
+        }
+        let steal = l.split_alternating();
+        assert_eq!(steal.len(), 50);
+        assert_eq!(l.len(), 51);
+        assert!(l.check_invariants());
+        assert!(steal.windows(2).all(|w| w[0] <= w[1]));
+        // Stolen items are the odd-indexed ones; the victim keeps the min.
+        assert_eq!(steal[0].key, 1);
+        assert_eq!(l.peek_min(), Some(Item::new(0, 0)));
+        // A single remaining item is stolen outright.
+        let mut single = Lsm::new();
+        single.insert(7, 7);
+        let steal = single.split_alternating();
+        assert_eq!(steal.len(), 1);
+        assert!(single.is_empty());
+        // And an empty LSM yields nothing.
+        assert!(Lsm::new().split_alternating().is_empty());
+    }
+
+    #[test]
     fn deletions_shrink_blocks() {
         let mut l = Lsm::new();
         for k in 0..128u64 {
@@ -335,6 +631,24 @@ mod tests {
             }
             let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
             proptest::prop_assert!(l.block_count() <= bound);
+        }
+
+        #[test]
+        fn prop_matches_legacy_kernels(
+            ops in proptest::collection::vec((proptest::bool::ANY, 0u64..500), 0..300)
+        ) {
+            let mut new = Lsm::new();
+            let mut old = legacy::LegacyLsm::new();
+            for (i, &(is_insert, k)) in ops.iter().enumerate() {
+                if is_insert {
+                    new.insert(k, i as u64);
+                    old.insert(k, i as u64);
+                } else {
+                    proptest::prop_assert_eq!(new.delete_min(), old.delete_min());
+                }
+                proptest::prop_assert_eq!(new.len(), old.len());
+                proptest::prop_assert!(new.check_invariants());
+            }
         }
     }
 }

@@ -66,11 +66,20 @@ pub enum Event {
     /// MultiQueue (sticky): number of items committed by buffer flushes
     /// (recorded with [`record_n`]).
     MqBufferFlushItems,
+    /// LSM block pool: a buffer request was served from a free list
+    /// (no heap allocation).
+    LsmPoolHit,
+    /// LSM block pool: a buffer request missed every free list and fell
+    /// back to a fresh heap allocation.
+    LsmPoolMiss,
+    /// LSM block pool: bytes of buffer capacity returned to a free list
+    /// for reuse (recorded with [`record_n`]).
+    LsmPoolRecycledBytes,
 }
 
 impl Event {
     /// Every event, in stable export order.
-    pub const ALL: [Event; 10] = [
+    pub const ALL: [Event; 13] = [
         Event::SkiplistFindRestart,
         Event::SkiplistCasRetry,
         Event::DlsmSpyAttempt,
@@ -81,6 +90,9 @@ impl Event {
         Event::MqEmptySample,
         Event::MqBufferFlush,
         Event::MqBufferFlushItems,
+        Event::LsmPoolHit,
+        Event::LsmPoolMiss,
+        Event::LsmPoolRecycledBytes,
     ];
 
     /// Number of distinct events.
@@ -99,6 +111,9 @@ impl Event {
             Event::MqEmptySample => "mq_empty_sample",
             Event::MqBufferFlush => "mq_buffer_flush",
             Event::MqBufferFlushItems => "mq_buffer_flush_items",
+            Event::LsmPoolHit => "lsm_pool_hit",
+            Event::LsmPoolMiss => "lsm_pool_miss",
+            Event::LsmPoolRecycledBytes => "lsm_pool_recycled_bytes",
         }
     }
 }
@@ -167,6 +182,24 @@ pub fn record(event: Event) {
 #[inline]
 pub fn record_n(event: Event, n: u64) {
     crate::chaos::on_event(event);
+    imp::record_n(event, n);
+}
+
+/// Record one occurrence of `event` WITHOUT marking a chaos hook point.
+///
+/// For events on purely sequential internal paths (e.g. the LSM block
+/// pool, which only ever runs under `&mut self`): schedule perturbation
+/// at such a site cannot surface interleavings, so the chaos shim's
+/// relaxed load is pure overhead there. With the `telemetry` feature
+/// disabled this compiles to nothing at all.
+#[inline]
+pub fn record_quiet(event: Event) {
+    record_n_quiet(event, 1);
+}
+
+/// As [`record_quiet`], recording `n` occurrences.
+#[inline]
+pub fn record_n_quiet(event: Event, n: u64) {
     imp::record_n(event, n);
 }
 

@@ -20,11 +20,28 @@ cd "$(dirname "$0")/.."
 THREADS="${1:-4}"
 DURATION_MS="${2:-1000}"
 INSTR_MAX_OVERHEAD_PCT="${INSTR_MAX_OVERHEAD_PCT:-5}"
+# Floor for the pooled-LSM kernel speedup gate (geomean of the steady
+# and sawtooth regimes vs. the frozen legacy kernels). The acceptance
+# target on quiet hardware is 1.3; default 1.0 so noisy shared runners
+# only fail on a real regression.
+LSM_KERNEL_MIN_SPEEDUP="${LSM_KERNEL_MIN_SPEEDUP:-1.0}"
 
 cargo run -p pq-bench --release --offline --bin mq_smoke -- \
     --threads "$THREADS" \
     --duration-ms "$DURATION_MS" \
     --out BENCH_multiqueue.json
+
+echo "== LSM kernel ablation (legacy vs pool-off vs pool-on, gate ${LSM_KERNEL_MIN_SPEEDUP}x) =="
+# Sequential A/B of the allocation-free merge kernels plus a concurrent
+# dlsm/klsm sanity sweep; writes BENCH_lsm_kernels.json (see
+# crates/bench/src/bin/lsm_kernels.rs and EXPERIMENTS.md "Allocation and
+# merge-kernel ablation"). Exits non-zero if the pool-on geomean
+# speedup over the legacy kernels falls below the gate.
+cargo run -p pq-bench --release --offline --bin lsm_kernels -- \
+    --threads "$THREADS" \
+    --duration-ms "$DURATION_MS" \
+    --min-speedup "$LSM_KERNEL_MIN_SPEEDUP" \
+    --out BENCH_lsm_kernels.json
 
 echo "== instrumentation overhead (limit ${INSTR_MAX_OVERHEAD_PCT}%) =="
 cargo run -p pq-bench --release --offline --bin instr_overhead -- \
@@ -47,7 +64,7 @@ cargo run -p pq-bench --release --offline --bin checker_stress -- \
 echo "== metrics export smoke (telemetry on) =="
 cargo run -p pq-bench --release --offline --features telemetry --bin figures -- \
     --experiment fig4a \
-    --queues multiqueue,mq-sticky,klsm256,linden \
+    --queues multiqueue,mq-sticky,klsm256,linden,dlsm,klsm128,klsm4096 \
     --threads 2,"$THREADS" \
     --prefill 20000 \
     --duration-ms 250 \

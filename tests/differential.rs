@@ -9,7 +9,7 @@
 //!   sequence, operation by operation.
 
 use harness::{with_queue, QueueSpec};
-use pq_traits::{ConcurrentPq, Item, PqHandle};
+use pq_traits::{ConcurrentPq, Item, PqHandle, SequentialPq};
 use proptest::prelude::*;
 
 fn strict_specs() -> Vec<QueueSpec> {
@@ -47,6 +47,32 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u64..4096).prop_map(Op::Insert),
         Just(Op::Delete),
+    ]
+}
+
+/// Operations for the pooled-LSM differential test: plain queue ops plus
+/// the spy-style bulk kernels the DLSM drives (`take_all_sorted`,
+/// `split_alternating`, `merge_in_sorted`).
+#[derive(Clone, Copy, Debug)]
+enum LsmOp {
+    Insert(u64),
+    Delete,
+    /// Drain everything sorted, verify, reinstall as one bulk merge.
+    SpyDrain,
+    /// Steal the odd-indexed half, verify, merge it straight back.
+    SpySplit,
+}
+
+fn lsm_op_strategy() -> impl Strategy<Value = LsmOp> {
+    // The vendored proptest stub's `prop_oneof!` is unweighted; bias
+    // toward plain ops by listing insert/delete twice.
+    prop_oneof![
+        (0u64..4096).prop_map(LsmOp::Insert),
+        (4096u64..8192).prop_map(LsmOp::Insert),
+        Just(LsmOp::Delete),
+        Just(LsmOp::Delete),
+        Just(LsmOp::SpyDrain),
+        Just(LsmOp::SpySplit),
     ]
 }
 
@@ -109,6 +135,63 @@ proptest! {
                 prop_assert_eq!(&inserted, &returned, "{} lost/duplicated items", spec);
                 Ok::<(), proptest::test_runner::TestCaseError>(())
             })?;
+        }
+    }
+
+    /// The pooled LSM against the reference binary heap, with spy-style
+    /// bulk drains and splits interleaved into the insert/delete stream.
+    /// Item values are unique per insert, so both strict structures must
+    /// return byte-identical items in byte-identical order.
+    #[test]
+    fn pooled_lsm_matches_binary_heap_with_spy_interleavings(
+        ops in proptest::collection::vec(lsm_op_strategy(), 0..400)
+    ) {
+        let mut l = lsm::Lsm::new();
+        let mut model = seqpq::BinaryHeap::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                LsmOp::Insert(k) => {
+                    l.insert(k, i as u64);
+                    model.insert(k, i as u64);
+                }
+                LsmOp::Delete => {
+                    prop_assert_eq!(l.delete_min(), model.delete_min(), "diverged at op {}", i);
+                }
+                LsmOp::SpyDrain => {
+                    let all = l.take_all_sorted();
+                    prop_assert!(all.windows(2).all(|w| w[0] <= w[1]));
+                    let mut expect: Vec<Item> = model.iter().copied().collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(&all, &expect, "drain mismatch at op {}", i);
+                    prop_assert!(l.is_empty());
+                    l.merge_in_sorted(all);
+                }
+                LsmOp::SpySplit => {
+                    let before = l.len();
+                    let steal = l.split_alternating();
+                    prop_assert!(steal.windows(2).all(|w| w[0] <= w[1]));
+                    prop_assert_eq!(l.len() + steal.len(), before);
+                    // The victim keeps the minimum unless fully drained.
+                    if !l.is_empty() {
+                        prop_assert_eq!(l.peek_min(), model.peek_min());
+                    }
+                    l.merge_in_sorted(steal);
+                }
+            }
+            prop_assert!(l.check_invariants(), "invariants broken at op {}", i);
+            prop_assert_eq!(l.len(), model.len());
+            prop_assert_eq!(l.peek_min(), model.peek_min());
+        }
+        // Drain both to the end: exact item-for-item agreement.
+        while let Some(expect) = model.delete_min() {
+            prop_assert_eq!(l.delete_min(), Some(expect));
+        }
+        prop_assert_eq!(l.delete_min(), None);
+        // The workload above cycles buffers constantly; the pool must
+        // have been carrying most of that traffic.
+        if !ops.is_empty() {
+            let stats = l.pool_stats();
+            prop_assert!(stats.hits + stats.misses > 0);
         }
     }
 
