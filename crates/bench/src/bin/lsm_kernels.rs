@@ -1,22 +1,29 @@
-//! LSM kernel microbenchmark: pooled vs. pre-pool merge kernels.
+//! LSM kernel microbenchmark: legacy vs. pooled vs. branch-free kernels.
 //!
-//! Three sequential arms measure the raw insert/delete-min kernel cost
+//! Four sequential arms measure the raw insert/delete-min kernel cost
 //! on one thread:
 //!
 //! * `legacy` — the pre-pool kernels ([`lsm::legacy::LegacyLsm`]):
 //!   allocating merges, copying compaction, `remove`/`insert` shifting.
-//! * `pool-off` — the rewritten kernels with recycling disabled
-//!   (isolates the kernel rewrite from buffer reuse).
-//! * `pool-on` — the rewritten kernels with the block pool
-//!   ([`lsm::Lsm::new`]); steady state is allocation-free.
+//! * `pool-off` — the current kernels with recycling disabled
+//!   (isolates the kernel work from buffer reuse).
+//! * `kernels-off` — the block pool with the branch-free kernel tiers
+//!   disabled ([`lsm::Lsm::with_kernels_disabled`]): scalar cursor
+//!   merges and the repeated-pairwise drain, i.e. the PR 4 pooled
+//!   baseline.
+//! * `pool-on` — everything on ([`lsm::Lsm::new`]): block pool plus the
+//!   sorting-network / chunked-bitonic / loser-tree tiers of
+//!   [`lsm::kernels`].
 //!
 //! A concurrent section then runs the LSM-family queues (dlsm,
-//! klsm128/256/4096) through the standard harness at `--threads`
-//! threads on the uniform workload, so pre/post-PR throughput can be
-//! compared from the JSON alone. Everything is written to
-//! `BENCH_lsm_kernels.json`, including the pooled arm's hit rate and
-//! the pooled/legacy speedup; `--min-speedup` turns the speedup into an
-//! exit-code gate. `scripts/bench_smoke.sh` wraps this binary.
+//! klsm128/256/4096, plus batched `-b16` variants of dlsm and klsm128)
+//! through the standard harness at `--threads` threads on the uniform
+//! workload, so pre/post-PR throughput can be compared from the JSON
+//! alone. Everything is written to `BENCH_lsm_kernels.json`, including
+//! the pooled arm's hit rate and two geomean speedups; `--min-speedup`
+//! gates pool-on/legacy and `--min-kernel-speedup` gates
+//! pool-on/kernels-off as exit codes. `scripts/bench_smoke.sh` wraps
+//! this binary.
 //!
 //! ```text
 //! cargo run -p pq-bench --release --bin lsm_kernels -- \
@@ -41,6 +48,7 @@ struct Args {
     reps: usize,
     seed: u64,
     min_speedup: f64,
+    min_kernel_speedup: f64,
     out: String,
 }
 
@@ -54,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 3,
         seed: 0x5EED,
         min_speedup: 0.0,
+        min_kernel_speedup: 0.0,
         out: "BENCH_lsm_kernels.json".to_owned(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--min-speedup" => {
                 args.min_speedup = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--min-kernel-speedup" => {
+                args.min_kernel_speedup = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--out" => args.out = take(&mut i)?,
             other => return Err(format!("unknown flag '{other}'")),
@@ -103,8 +115,11 @@ fn next_key(state: &mut u64) -> u64 {
 /// equally instead of whichever arm happened to run during the dip.
 const SEQ_ROUNDS: usize = 16;
 
+/// Number of sequential arms (legacy, pool-off, kernels-off, pool-on).
+const ARMS: usize = 4;
+
 /// Prefill to `size` and run one untimed warmup pass so the arm starts
-/// from a settled block shape (and, for the pooled arm, a primed pool).
+/// from a settled block shape (and, for the pooled arms, a primed pool).
 fn prep_seq<Q: SequentialPq>(q: &mut Q, size: usize, rng: &mut u64) {
     for _ in 0..size {
         q.insert(next_key(rng), 0);
@@ -150,57 +165,77 @@ fn chunk_sawtooth<Q: SequentialPq>(
     start.elapsed()
 }
 
-/// Measured rates for the three sequential arms (legacy, pool-off,
-/// pool-on) on both workload shapes, in pairs/sec.
+/// Measured rates for the four sequential arms (legacy, pool-off,
+/// kernels-off, pool-on) on both workload shapes, in pairs/sec.
 struct SeqRates {
     /// Constant-size insert/delete-min pair stream.
-    pairs: [f64; 3],
+    pairs: [f64; ARMS],
     /// Sawtooth: grow-by-`size` then drain-by-`size` bursts.
-    sawtooth: [f64; 3],
+    sawtooth: [f64; ARMS],
 }
 
 impl SeqRates {
-    /// Pooled-arm speedup vs. legacy on one workload.
-    fn speedup_of(rates: &[f64; 3]) -> f64 {
+    /// Full-stack (pool-on vs. legacy) speedup on one workload.
+    fn speedup_of(rates: &[f64; ARMS]) -> f64 {
         if rates[0] > 0.0 {
-            rates[2] / rates[0]
+            rates[3] / rates[0]
         } else {
             0.0
         }
     }
 
-    /// Headline speedup: geometric mean over the two workload shapes,
-    /// weighting the steady-state and churn regimes equally.
+    /// Branch-free kernel speedup (pool-on vs. kernels-off, i.e. vs.
+    /// the PR 4 pooled baseline) on one workload.
+    fn kernel_speedup_of(rates: &[f64; ARMS]) -> f64 {
+        if rates[2] > 0.0 {
+            rates[3] / rates[2]
+        } else {
+            0.0
+        }
+    }
+
+    /// Headline full-stack speedup: geometric mean over the two
+    /// workload shapes, weighting steady-state and churn equally.
     fn speedup(&self) -> f64 {
         (Self::speedup_of(&self.pairs) * Self::speedup_of(&self.sawtooth)).sqrt()
     }
+
+    /// Headline branch-free kernel speedup over the pooled baseline
+    /// (geomean of steady and sawtooth).
+    fn kernel_speedup(&self) -> f64 {
+        (Self::kernel_speedup_of(&self.pairs) * Self::kernel_speedup_of(&self.sawtooth)).sqrt()
+    }
 }
 
-/// Measure all three sequential arms interleaved; returns per-workload
-/// rates plus the pooled arm's final pool stats.
+/// Measure all four sequential arms interleaved; returns per-workload
+/// rates plus the pool-on arm's final pool stats.
 fn bench_seq_arms(size: usize, ops: usize, seed: u64) -> (SeqRates, lsm::PoolStats) {
     let mut legacy = LegacyLsm::new();
     let mut pool_off = Lsm::with_pool_disabled();
+    let mut kernels_off = Lsm::with_kernels_disabled();
     let mut pool_on = Lsm::new();
     // Identical key streams per arm: independent queues, same workload.
-    let (mut r0, mut r1, mut r2) = (seed, seed, seed);
+    let (mut r0, mut r1, mut r2, mut r3) = (seed, seed, seed, seed);
     prep_seq(&mut legacy, size, &mut r0);
     prep_seq(&mut pool_off, size, &mut r1);
-    prep_seq(&mut pool_on, size, &mut r2);
+    prep_seq(&mut kernels_off, size, &mut r2);
+    prep_seq(&mut pool_on, size, &mut r3);
     let chunk = (ops / SEQ_ROUNDS).max(1);
     // Per-arm *minimum* chunk time: on a shared core, each arm's rate
     // is taken from its cleanest window, so co-tenant steal time and
     // frequency dips don't land on whichever arm was running during
     // them. Interleaving gives every arm the same shot at clean slots.
-    let mut best_pairs = [Duration::MAX; 3];
-    let mut best_saw = [Duration::MAX; 3];
+    let mut best_pairs = [Duration::MAX; ARMS];
+    let mut best_saw = [Duration::MAX; ARMS];
     for _ in 0..SEQ_ROUNDS {
         best_pairs[0] = best_pairs[0].min(chunk_seq(&mut legacy, chunk, &mut r0));
         best_pairs[1] = best_pairs[1].min(chunk_seq(&mut pool_off, chunk, &mut r1));
-        best_pairs[2] = best_pairs[2].min(chunk_seq(&mut pool_on, chunk, &mut r2));
+        best_pairs[2] = best_pairs[2].min(chunk_seq(&mut kernels_off, chunk, &mut r2));
+        best_pairs[3] = best_pairs[3].min(chunk_seq(&mut pool_on, chunk, &mut r3));
         best_saw[0] = best_saw[0].min(chunk_sawtooth(&mut legacy, chunk, size, &mut r0));
         best_saw[1] = best_saw[1].min(chunk_sawtooth(&mut pool_off, chunk, size, &mut r1));
-        best_saw[2] = best_saw[2].min(chunk_sawtooth(&mut pool_on, chunk, size, &mut r2));
+        best_saw[2] = best_saw[2].min(chunk_sawtooth(&mut kernels_off, chunk, size, &mut r2));
+        best_saw[3] = best_saw[3].min(chunk_sawtooth(&mut pool_on, chunk, size, &mut r3));
     }
     let rates = SeqRates {
         pairs: std::array::from_fn(|i| chunk as f64 / best_pairs[i].as_secs_f64()),
@@ -237,7 +272,12 @@ fn main() {
         args.size, args.ops, SEQ_ROUNDS
     );
     let (rates, pool_stats) = bench_seq_arms(args.size, args.ops, args.seed);
-    for (name, idx) in [("legacy  ", 0), ("pool-off", 1), ("pool-on ", 2)] {
+    for (name, idx) in [
+        ("legacy     ", 0),
+        ("pool-off   ", 1),
+        ("kernels-off", 2),
+        ("pool-on    ", 3),
+    ] {
         eprintln!(
             "  {name}  steady {:.3} M pairs/s | sawtooth {:.3} M pairs/s",
             rates.pairs[idx] / 1e6,
@@ -246,14 +286,21 @@ fn main() {
     }
     eprintln!("  pool hit rate {:.4}", pool_stats.hit_rate());
     let speedup = rates.speedup();
+    let kernel_speedup = rates.kernel_speedup();
     eprintln!(
         "  speedup pool-on/legacy: steady {:.3}x, sawtooth {:.3}x, geomean {speedup:.3}x",
         SeqRates::speedup_of(&rates.pairs),
         SeqRates::speedup_of(&rates.sawtooth),
     );
+    eprintln!(
+        "  speedup pool-on/kernels-off: steady {:.3}x, sawtooth {:.3}x, geomean {kernel_speedup:.3}x",
+        SeqRates::kernel_speedup_of(&rates.pairs),
+        SeqRates::kernel_speedup_of(&rates.sawtooth),
+    );
 
     // Concurrent LSM-family cells on the uniform workload, for
-    // pre/post-PR comparison at the JSON level.
+    // pre/post-PR comparison at the JSON level. The batched variants
+    // exercise the PqHandle::flush() insert-buffering path.
     let exp = experiments::by_id("fig4a").expect("uniform experiment registered");
     let cfg = BenchConfig {
         threads: args.threads,
@@ -266,7 +313,9 @@ fn main() {
     };
     let specs = [
         QueueSpec::Dlsm,
+        QueueSpec::DlsmBatch(16),
         QueueSpec::Klsm(128),
+        QueueSpec::KlsmBatch(128, 16),
         QueueSpec::Klsm(256),
         QueueSpec::Klsm(4096),
     ];
@@ -285,10 +334,14 @@ fn main() {
         .join(",\n");
     let json = format!(
         "{{\n  \"size\": {},\n  \"ops\": {},\n  \"seed\": {},\n  \
-         \"steady_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
-         \"sawtooth_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
+         \"steady_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
+         \"kernels_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
+         \"sawtooth_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
+         \"kernels_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
          \"steady_speedup\": {:.4},\n  \"sawtooth_speedup\": {:.4},\n  \
          \"pool_on_speedup_vs_legacy\": {:.4},\n  \
+         \"kernel_steady_speedup\": {:.4},\n  \"kernel_sawtooth_speedup\": {:.4},\n  \
+         \"kernel_speedup_vs_pooled\": {:.4},\n  \
          \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
          \"pool_recycled_bytes\": {},\n  \"threads\": {},\n  \"prefill\": {},\n  \
          \"duration_ms\": {},\n  \"reps\": {},\n  \"concurrent\": [\n{body}\n  ]\n}}\n",
@@ -298,12 +351,17 @@ fn main() {
         rates.pairs[0],
         rates.pairs[1],
         rates.pairs[2],
+        rates.pairs[3],
         rates.sawtooth[0],
         rates.sawtooth[1],
         rates.sawtooth[2],
+        rates.sawtooth[3],
         SeqRates::speedup_of(&rates.pairs),
         SeqRates::speedup_of(&rates.sawtooth),
         speedup,
+        SeqRates::kernel_speedup_of(&rates.pairs),
+        SeqRates::kernel_speedup_of(&rates.sawtooth),
+        kernel_speedup,
         pool_stats.hits,
         pool_stats.misses,
         pool_stats.hit_rate(),
@@ -318,18 +376,27 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "wrote {} — pooled kernels {speedup:.2}x vs legacy (steady {:.2}x, \
-         sawtooth {:.2}x, pool hit rate {:.4})",
+        "wrote {} — pooled kernels {speedup:.2}x vs legacy, branch-free tiers \
+         {kernel_speedup:.2}x vs pooled baseline (pool hit rate {:.4})",
         args.out,
-        SeqRates::speedup_of(&rates.pairs),
-        SeqRates::speedup_of(&rates.sawtooth),
         pool_stats.hit_rate(),
     );
+    let mut failed = false;
     if args.min_speedup > 0.0 && speedup < args.min_speedup {
         eprintln!(
-            "lsm_kernels: FAIL — speedup {speedup:.3}x below required {:.3}x",
+            "lsm_kernels: FAIL — pool-on/legacy speedup {speedup:.3}x below required {:.3}x",
             args.min_speedup
         );
+        failed = true;
+    }
+    if args.min_kernel_speedup > 0.0 && kernel_speedup < args.min_kernel_speedup {
+        eprintln!(
+            "lsm_kernels: FAIL — kernel speedup {kernel_speedup:.3}x below required {:.3}x",
+            args.min_kernel_speedup
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

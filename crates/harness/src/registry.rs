@@ -9,8 +9,15 @@
 pub enum QueueSpec {
     /// k-LSM with the given relaxation parameter.
     Klsm(usize),
+    /// k-LSM with the given relaxation parameter and per-handle insert
+    /// buffers of the given size, committed as one pre-sorted block
+    /// through the LSM kernels (widens the rank bound by `batch − 1`
+    /// per thread).
+    KlsmBatch(usize, usize),
     /// Standalone distributed (thread-local) LSM.
     Dlsm,
+    /// Standalone DLSM with per-handle insert buffers of the given size.
+    DlsmBatch(usize),
     /// Standalone shared LSM with the given relaxation parameter.
     Slsm(usize),
     /// Lindén–Jonsson strict skiplist queue.
@@ -43,7 +50,9 @@ impl QueueSpec {
     pub fn name(&self) -> String {
         match self {
             QueueSpec::Klsm(k) => format!("klsm{k}"),
+            QueueSpec::KlsmBatch(k, m) => format!("klsm{k}-b{m}"),
             QueueSpec::Dlsm => "dlsm".to_owned(),
+            QueueSpec::DlsmBatch(m) => format!("dlsm-b{m}"),
             QueueSpec::Slsm(k) => format!("slsm{k}"),
             QueueSpec::Linden => "linden".to_owned(),
             QueueSpec::Spray => "spray".to_owned(),
@@ -101,8 +110,18 @@ impl QueueSpec {
                         return None;
                     }
                     Some(QueueSpec::MqSticky(c, sv, mv))
-                } else if let Some(k) = s.strip_prefix("klsm") {
-                    k.parse().ok().map(QueueSpec::Klsm)
+                } else if let Some(m) = s.strip_prefix("dlsm-b") {
+                    m.parse().ok().map(QueueSpec::DlsmBatch)
+                } else if let Some(rest) = s.strip_prefix("klsm") {
+                    // "klsm{k}" or "klsm{k}-b{m}".
+                    if let Some((k, m)) = rest.split_once("-b") {
+                        match (k.parse().ok(), m.parse().ok()) {
+                            (Some(k), Some(m)) => Some(QueueSpec::KlsmBatch(k, m)),
+                            _ => None,
+                        }
+                    } else {
+                        rest.parse().ok().map(QueueSpec::Klsm)
+                    }
                 } else if let Some(k) = s.strip_prefix("slsm") {
                     k.parse().ok().map(QueueSpec::Slsm)
                 } else if let Some(c) = s.strip_prefix("multiqueue-pairing-c") {
@@ -179,8 +198,25 @@ macro_rules! with_queue {
                 let $q = ::klsm::Klsm::new(k, threads + 1);
                 $body
             }
+            $crate::QueueSpec::KlsmBatch(k, m) => {
+                let $q = ::klsm::Klsm::with_batch(
+                    k,
+                    threads + 1,
+                    ::pq_traits::seed::DEFAULT_QUEUE_SEED,
+                    m,
+                );
+                $body
+            }
             $crate::QueueSpec::Dlsm => {
                 let $q = ::klsm::Dlsm::new(threads + 1);
+                $body
+            }
+            $crate::QueueSpec::DlsmBatch(m) => {
+                let $q = ::klsm::Dlsm::with_batch(
+                    threads + 1,
+                    ::pq_traits::seed::DEFAULT_QUEUE_SEED,
+                    m,
+                );
                 $body
             }
             $crate::QueueSpec::Slsm(k) => {
@@ -241,7 +277,9 @@ mod tests {
         let specs = [
             QueueSpec::Klsm(128),
             QueueSpec::Klsm(4096),
+            QueueSpec::KlsmBatch(128, 16),
             QueueSpec::Dlsm,
+            QueueSpec::DlsmBatch(16),
             QueueSpec::Slsm(256),
             QueueSpec::Linden,
             QueueSpec::Spray,
@@ -263,6 +301,8 @@ mod tests {
         assert_eq!(QueueSpec::parse("nonsense"), None);
         assert_eq!(QueueSpec::parse("mq-sticky-s8"), None);
         assert_eq!(QueueSpec::parse("mq-sticky-s8-m4-x1"), None);
+        assert_eq!(QueueSpec::parse("klsm128-bx"), None);
+        assert_eq!(QueueSpec::parse("dlsm-b"), None);
     }
 
     #[test]
@@ -289,7 +329,9 @@ mod tests {
         use pq_traits::{ConcurrentPq, PqHandle};
         for spec in [
             QueueSpec::Klsm(16),
+            QueueSpec::KlsmBatch(16, 8),
             QueueSpec::Dlsm,
+            QueueSpec::DlsmBatch(8),
             QueueSpec::Slsm(8),
             QueueSpec::Linden,
             QueueSpec::Spray,

@@ -1,0 +1,203 @@
+//! Developer probe for the branch-free kernel tiers: times the raw
+//! kernels against their scalar counterparts, plus whole-queue
+//! steady/sawtooth loops with kernels on vs. off. Not part of the
+//! published bench — `lsm_kernels` in the bench crate is the gated one.
+//!
+//! ```text
+//! cargo run -p lsm --release --example kernel_probe
+//! ```
+
+use std::time::Instant;
+
+use lsm::{kernels, BlockPool, Lsm};
+use pq_traits::{Item, SequentialPq};
+
+fn next_key(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn sorted_run(n: usize, rng: &mut u64) -> Vec<Item> {
+    let mut v: Vec<Item> = (0..n).map(|_| Item::new(next_key(rng), 0)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn time<F: FnMut()>(label: &str, iters: usize, mut f: F) -> f64 {
+    // Warmup.
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("  {label}: {:.1} ns", best * 1e9);
+    best
+}
+
+fn bench_merge(n: usize, rng: &mut u64) {
+    println!("merge {n}+{n}:");
+    let a = sorted_run(n, rng);
+    let b = sorted_run(n, rng);
+    let mut pool = BlockPool::new();
+    let mut out: Vec<Item> = Vec::with_capacity(2 * n);
+    let scalar = time("scalar ", 1000, || {
+        out.clear();
+        kernels::scalar_merge_append(&a, &b, &mut out);
+        std::hint::black_box(&out);
+    });
+    let chunked = time("chunked", 1000, || {
+        out.clear();
+        kernels::merge_bitonic_chunked(&a, &b, &mut out, &mut pool);
+        std::hint::black_box(&out);
+    });
+    let bidi = time("bidi   ", 1000, || {
+        out.clear();
+        kernels::merge_bidirectional_append(&a, &b, &mut out);
+        std::hint::black_box(&out);
+    });
+    println!(
+        "  -> chunked/scalar: {:.3}x, bidi/scalar: {:.3}x",
+        scalar / chunked,
+        scalar / bidi
+    );
+}
+
+fn bench_small_sort(n: usize, rng: &mut u64) {
+    println!("sort {n}:");
+    let src: Vec<Item> = (0..n).map(|_| Item::new(next_key(rng), 0)).collect();
+    let mut buf = src.clone();
+    let std_t = time("std    ", 10_000, || {
+        buf.copy_from_slice(&src);
+        buf.sort_unstable();
+        std::hint::black_box(&buf);
+    });
+    let net_t = time("network", 10_000, || {
+        buf.copy_from_slice(&src);
+        kernels::sort_items(&mut buf);
+        std::hint::black_box(&buf);
+    });
+    println!("  -> network/std: {:.3}x", std_t / net_t);
+}
+
+fn bench_small_merge(la: usize, lb: usize, rng: &mut u64) {
+    println!("small merge {la}+{lb}:");
+    let a = sorted_run(la, rng);
+    let b = sorted_run(lb, rng);
+    let mut out: Vec<Item> = Vec::with_capacity(la + lb);
+    let scalar = time("scalar ", 10_000, || {
+        out.clear();
+        kernels::scalar_merge_append(&a, &b, &mut out);
+        std::hint::black_box(&out);
+    });
+    let net = time("network", 10_000, || {
+        out.clear();
+        kernels::merge_network_into(&a, &b, &mut out);
+        std::hint::black_box(&out);
+    });
+    let bidi = time("bidi   ", 10_000, || {
+        out.clear();
+        kernels::merge_bidirectional_append(&a, &b, &mut out);
+        std::hint::black_box(&out);
+    });
+    println!(
+        "  -> network/scalar: {:.3}x, bidi/scalar: {:.3}x",
+        scalar / net,
+        scalar / bidi
+    );
+}
+
+fn chunk_steady(q: &mut Lsm, pairs: usize, rng: &mut u64) -> std::time::Duration {
+    let t = Instant::now();
+    for _ in 0..pairs {
+        q.insert(next_key(rng), 0);
+        std::hint::black_box(q.delete_min());
+    }
+    t.elapsed()
+}
+
+fn chunk_saw(q: &mut Lsm, pairs: usize, burst: usize, rng: &mut u64) -> std::time::Duration {
+    let t = Instant::now();
+    let mut left = pairs;
+    while left > 0 {
+        let b = burst.min(left);
+        for _ in 0..b {
+            q.insert(next_key(rng), 0);
+        }
+        for _ in 0..b {
+            std::hint::black_box(q.delete_min());
+        }
+        left -= b;
+    }
+    t.elapsed()
+}
+
+/// Interleaved min-of-chunks A/B of kernels-on vs kernels-off, the same
+/// methodology as the gated bench binary.
+fn bench_queue_ab(size: usize, pairs: usize, seed: u64) -> (f64, f64) {
+    const ROUNDS: usize = 12;
+    let mut on = Lsm::new();
+    let mut off = Lsm::with_kernels_disabled();
+    let (mut r_on, mut r_off) = (seed, seed);
+    for _ in 0..size {
+        on.insert(next_key(&mut r_on), 0);
+        off.insert(next_key(&mut r_off), 0);
+    }
+    let chunk = (pairs / ROUNDS).max(1);
+    let mut best = [std::time::Duration::MAX; 4];
+    for _ in 0..ROUNDS {
+        best[0] = best[0].min(chunk_steady(&mut on, chunk, &mut r_on));
+        best[1] = best[1].min(chunk_steady(&mut off, chunk, &mut r_off));
+        best[2] = best[2].min(chunk_saw(&mut on, chunk, size, &mut r_on));
+        best[3] = best[3].min(chunk_saw(&mut off, chunk, size, &mut r_off));
+    }
+    let rate = |d: std::time::Duration| chunk as f64 / d.as_secs_f64();
+    let (s_on, s_off, w_on, w_off) = (rate(best[0]), rate(best[1]), rate(best[2]), rate(best[3]));
+    println!(
+        "  steady on {:.3} M/s off {:.3} M/s -> {:.3}x",
+        s_on / 1e6,
+        s_off / 1e6,
+        s_on / s_off
+    );
+    println!(
+        "  sawtooth on {:.3} M/s off {:.3} M/s -> {:.3}x",
+        w_on / 1e6,
+        w_off / 1e6,
+        w_on / w_off
+    );
+    (s_on / s_off, w_on / w_off)
+}
+
+fn main() {
+    let mut rng = 0xC0FFEEu64;
+    for n in [64usize, 512, 4096] {
+        bench_merge(n, &mut rng);
+    }
+    for n in [8usize, 16, 32] {
+        bench_small_sort(n, &mut rng);
+    }
+    for (la, lb) in [(4usize, 4usize), (8, 8), (16, 16), (16, 8)] {
+        bench_small_merge(la, lb, &mut rng);
+    }
+    println!("whole queue (size 8192, interleaved A/B):");
+    let (s, w) = bench_queue_ab(8192, 2_400_000, 0xAB5EED);
+    println!("  -> geomean {:.3}x", (s * w).sqrt());
+    #[cfg(feature = "telemetry")]
+    {
+        use pq_traits::telemetry::{snapshot, Event};
+        let counts = snapshot();
+        println!("telemetry (whole run):");
+        for ev in Event::ALL {
+            let c = counts.get(ev);
+            if c > 0 {
+                println!("  {}: {c}", ev.name());
+            }
+        }
+    }
+}

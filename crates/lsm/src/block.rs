@@ -11,7 +11,14 @@
 //! draws its output buffer from a [`BlockPool`] and recycles both source
 //! buffers, and compaction reuses the block's own allocation via
 //! `copy_within`/`truncate` instead of copying to a fresh vector.
+//!
+//! Merging dispatches on size to the branch-free kernels in
+//! [`crate::kernels`]: the bidirectional two-chain kernel from
+//! [`crate::kernels::MERGE_PATH_MIN`] combined items up, and the scalar
+//! cursor merge below it (and on the kernels-off A/B arm, which is the
+//! frozen PR 4 baseline for every size).
 
+use crate::kernels;
 use crate::pool::BlockPool;
 use pq_traits::Item;
 
@@ -129,42 +136,33 @@ impl Block {
 
     /// Two-way merge of the live items of two blocks into a buffer drawn
     /// from `pool`; both source buffers are recycled into `pool`.
-    ///
-    /// The inner loop is a branchless cursor merge over raw pointers:
-    /// exactly one cursor advances per iteration (by `take_a as usize`),
-    /// which compiles to conditional moves instead of a mispredicting
-    /// take-left/take-right branch, and the pre-sized output buffer
-    /// needs no per-item capacity check.
+    /// Equivalent to [`Block::merge_with`] with the branch-free kernels
+    /// enabled.
     pub fn merge_into(a: Block, b: Block, pool: &mut BlockPool) -> Block {
+        Self::merge_with(a, b, pool, true)
+    }
+
+    /// Two-way merge with explicit kernel selection (`branch_free` is
+    /// false only on the kernels-off A/B arm): the bidirectional
+    /// two-chain kernel from [`kernels::MERGE_PATH_MIN`] items up —
+    /// where nearly all merge volume lives — and the scalar branchless
+    /// cursor merge below it. The tier-1 merge network and tier-2
+    /// chunked bitonic kernel measured slower than the scalar cursor
+    /// merge (which is itself branchless) at every size, so they are
+    /// ablation arms, not production dispatch targets; see the
+    /// EXPERIMENTS.md kernel ablation.
+    pub(crate) fn merge_with(a: Block, b: Block, pool: &mut BlockPool, branch_free: bool) -> Block {
         let (sa, sb) = (a.live_slice(), b.live_slice());
         let total = sa.len() + sb.len();
+        debug_assert!(total > 0, "merging two empty blocks");
         let mut out = pool.acquire(total);
         debug_assert!(out.is_empty() && out.capacity() >= total);
-        // SAFETY: `out` holds capacity for `total` items; each loop
-        // iteration writes one item and advances exactly one source
-        // cursor, so `po` is bumped exactly `total` times across the
-        // loop and the two tail copies. Sources and destination are
-        // distinct buffers, and `Item` is `Copy`.
-        unsafe {
-            let mut pa = sa.as_ptr();
-            let ea = pa.add(sa.len());
-            let mut pb = sb.as_ptr();
-            let eb = pb.add(sb.len());
-            let mut po = out.as_mut_ptr();
-            while pa != ea && pb != eb {
-                let (x, y) = (*pa, *pb);
-                let take_a = x <= y;
-                *po = if take_a { x } else { y };
-                po = po.add(1);
-                pa = pa.add(take_a as usize);
-                pb = pb.add(!take_a as usize);
-            }
-            let ra = ea.offset_from(pa) as usize;
-            po.copy_from_nonoverlapping(pa, ra);
-            po.add(ra).copy_from_nonoverlapping(pb, eb.offset_from(pb) as usize);
-            out.set_len(total);
+        if branch_free && total >= kernels::MERGE_PATH_MIN {
+            kernels::merge_bidirectional_append(sa, sb, &mut out);
+        } else {
+            kernels::scalar_merge_append(sa, sb, &mut out);
         }
-        debug_assert!(!out.is_empty(), "merging two empty blocks");
+        debug_assert_eq!(out.len(), total);
         pool.release(a.into_buffer());
         pool.release(b.into_buffer());
         Block::from_sorted(out)

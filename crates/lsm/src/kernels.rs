@@ -1,0 +1,826 @@
+//! Branch-free small-block kernels: sorting networks, bitonic and
+//! bidirectional merges, and a k-way loser tree.
+//!
+//! PR 4 made the LSM merge path allocation-free; what remains in the hot
+//! loops is element-at-a-time compare work. This module provides
+//! data-independent replacements; the subset that *measured* faster than
+//! the (already branchless) scalar kernels forms the production path:
+//!
+//! * **Bidirectional two-chain merge** ([`merge_bidirectional_append`]):
+//!   the production pairwise merge from [`MERGE_PATH_MIN`] combined
+//!   items up ([`crate::Block::merge_with`]). Two independent
+//!   merge chains — one from the fronts, one from the backs — run
+//!   interleaved inside a joint safe window, doubling the
+//!   instruction-level parallelism of the latency-chain-bound scalar
+//!   cursor merge. 1.2–1.9× on every measured shape from 4+4 up.
+//! * **k-way loser tree** ([`k_way_merge_into`]): drains `k` sorted
+//!   runs in one `O(total · log k)` pass — one comparison per tree
+//!   level per emitted item — replacing the `O(total · k)`
+//!   repeated-pairwise head scan in `take_all_sorted`. Tree state lives
+//!   in a pooled scratch buffer plus fixed stack arrays.
+//! * **Branchless head argmin** ([`argmin`]): conditional-move scan of
+//!   the dense block-minima mirror, used by `delete_min`.
+//! * **Sorting networks** ([`sort_items`], [`NETWORK_MAX_CAP`]):
+//!   Batcher odd-even merge-sort networks over packed lanes,
+//!   monomorphized per power-of-two size class (2..=32); the
+//!   compare-exchange schedule depends only on indices, so every
+//!   comparison compiles to conditional moves. Used for small batch
+//!   sorting in `from_items`.
+//!
+//! Two further tiers — the tier-1 merge network ([`merge_network_into`])
+//! and the chunked bitonic merge ([`merge_bitonic_chunked`], after
+//! Chhugani et al.; see also arXiv:2504.11652) — measured *slower* than
+//! the scalar cursor merge on the benched hardware (see EXPERIMENTS.md
+//! "Branch-free kernel ablation" for numbers and the predictor-
+//! memorization measurement caveat). They are kept fully tested and
+//! telemetered as ablation arms, not dispatched on the production path.
+//!
+//! All kernels are allocation-free under the [`crate::BlockPool`]:
+//! network buffers are fixed stack arrays, the loser tree's head mirror
+//! is drawn from the pool, and outputs are written into pool-drawn
+//! buffers. Kernel selection is observable through the
+//! `lsm_kernel_network_hits` / `lsm_kernel_bitonic_hits` /
+//! `lsm_kernel_bidi_hits` / `lsm_kernel_losertree_passes` telemetry
+//! counters, and every kernel `debug_assert!`s the sortedness of its
+//! output in debug builds.
+//!
+//! The cutoff constants below are the single source of truth; call sites
+//! must reference them instead of repeating the numbers.
+
+use crate::pool::BlockPool;
+use pq_traits::{telemetry, Item};
+
+/// Largest combined block size handled by the tier-1 sorting/merging
+/// networks. Chosen so the padded network buffer (32 × 16-byte items =
+/// 512 B) stays inside L1 and the deepest network (Batcher over 32) is
+/// still cheap; the `lsm_kernels` bench ablation (EXPERIMENTS.md
+/// "Branch-free kernel ablation") backs this cutoff.
+pub const NETWORK_MAX_CAP: usize = 32;
+
+/// Items per refill chunk of the tier-2 bitonic merge: 8 items × 16 B =
+/// two cache lines per load, a 16-element (four-stage) merge network per
+/// emitted chunk. Both inputs must hold at least one full chunk or the
+/// merge falls back to the scalar cursor kernel.
+pub const BITONIC_CHUNK: usize = 8;
+
+/// Stack buffer width of the tier-2 merge network (two chunks).
+const BITONIC_BUF: usize = 2 * BITONIC_CHUNK;
+
+/// Smallest combined size routed to the tier-2b bidirectional merge
+/// ([`merge_bidirectional_append`]). The two-chain kernel wins on every
+/// measured shape from 4+4 up (1.2–1.9× over the scalar cursor merge,
+/// see EXPERIMENTS.md "Branch-free kernel ablation"); below this the
+/// per-call window bookkeeping doesn't amortize and the scalar cursor
+/// kernel is used. The tier-1 merge network and the tier-2 chunked
+/// bitonic kernel measured *slower* than the already-branchless scalar
+/// merge on the benched hardware, so they are kept (tested, telemetered)
+/// as ablation arms rather than on the production merge path.
+pub const MERGE_PATH_MIN: usize = 8;
+
+/// Maximum fan-in of the loser tree: an LSM holds at most
+/// `⌈log₂ n⌉ + 1 = 65` blocks on a 64-bit machine.
+pub(crate) const MAX_FANOUT: usize = usize::BITS as usize + 1;
+
+/// Loser-tree node capacity: [`MAX_FANOUT`] rounded up to a power of two.
+const TREE_CAP: usize = MAX_FANOUT.next_power_of_two();
+
+/// Padding value for network buffers and exhausted loser-tree runs.
+/// A *real* item may compare equal to the sentinel; every kernel below
+/// remains correct in that case because equal items are bit-identical
+/// `Copy` data — emitting the sentinel copy instead of the real item
+/// yields the same output bytes.
+pub(crate) const SENTINEL: Item = Item::new(u64::MAX, u64::MAX);
+
+/// Network lane: an [`Item`] packed as `(key << 64) | value`, so the
+/// `(key, value)` lexicographic order becomes a single `u128` compare
+/// and a compare-exchange is two integer-register conditional-move
+/// pairs instead of a two-field struct compare the backend may lower to
+/// branches. Packing costs one shift+or per loaded item, unpacking one
+/// shift per emitted item — both off the critical compare path.
+type Lane = u128;
+
+/// [`SENTINEL`] in packed form (`u128::MAX`).
+const LANE_MAX: Lane = Lane::MAX;
+
+#[inline(always)]
+fn pack(it: Item) -> Lane {
+    ((it.key as Lane) << 64) | it.value as Lane
+}
+
+#[inline(always)]
+fn unpack(lane: Lane) -> Item {
+    Item::new((lane >> 64) as u64, lane as u64)
+}
+
+/// Branchless compare-exchange: after the call `buf[i] <= buf[j]`.
+/// The order of operands depends only on the data values, not on any
+/// branch — LLVM lowers the two selects to conditional moves.
+#[inline(always)]
+fn cex(buf: &mut [Lane], i: usize, j: usize) {
+    debug_assert!(i < j);
+    let a = buf[i];
+    let b = buf[j];
+    buf[i] = a.min(b);
+    buf[j] = a.max(b);
+}
+
+/// Batcher odd-even merge-sort network over a fixed power-of-two size.
+/// The `(p, k, j)` schedule is data-independent; for const `N` the
+/// compiler monomorphizes (and largely unrolls) one network per size
+/// class.
+fn batcher_sort<const N: usize>(buf: &mut [Lane; N]) {
+    debug_assert!(N.is_power_of_two());
+    let mut p = 1;
+    while p < N {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < N {
+                let span = k.min(N - j - k);
+                for i in 0..span {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        cex(buf, i + j, i + j + k);
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+/// Bitonic merge network: sorts a bitonic sequence (ascending run
+/// followed by a descending run) of fixed power-of-two length ascending.
+/// `log₂ N` stages of `N/2` independent compare-exchanges each.
+fn bitonic_merge_pow2<const N: usize>(buf: &mut [Lane; N]) {
+    debug_assert!(N.is_power_of_two());
+    let mut k = N / 2;
+    while k >= 1 {
+        let mut i = 0;
+        while i < N {
+            cex(buf, i, i + k);
+            i += 1;
+            // Skip to the next pair block once the low `k` indices of
+            // this one are exhausted (index arithmetic only).
+            if i & k != 0 {
+                i += k;
+            }
+        }
+        k /= 2;
+    }
+}
+
+/// Run the monomorphized Batcher network matching `n`'s size class over
+/// the first `next_power_of_two(n)` slots of `buf`.
+#[inline]
+fn batcher_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize) {
+    debug_assert!(n <= NETWORK_MAX_CAP);
+    match n.next_power_of_two().max(2) {
+        2 => batcher_sort::<2>((&mut buf[..2]).try_into().expect("size 2")),
+        4 => batcher_sort::<4>((&mut buf[..4]).try_into().expect("size 4")),
+        8 => batcher_sort::<8>((&mut buf[..8]).try_into().expect("size 8")),
+        16 => batcher_sort::<16>((&mut buf[..16]).try_into().expect("size 16")),
+        _ => batcher_sort::<32>(buf),
+    }
+}
+
+/// Run the monomorphized bitonic merge network matching `n`'s size class.
+#[inline]
+fn bitonic_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize) {
+    debug_assert!(n <= NETWORK_MAX_CAP);
+    match n.next_power_of_two().max(2) {
+        2 => bitonic_merge_pow2::<2>((&mut buf[..2]).try_into().expect("size 2")),
+        4 => bitonic_merge_pow2::<4>((&mut buf[..4]).try_into().expect("size 4")),
+        8 => bitonic_merge_pow2::<8>((&mut buf[..8]).try_into().expect("size 8")),
+        16 => bitonic_merge_pow2::<16>((&mut buf[..16]).try_into().expect("size 16")),
+        _ => bitonic_merge_pow2::<32>(buf),
+    }
+}
+
+/// Sort up to [`NETWORK_MAX_CAP`] items in place through the sorting
+/// network of their size class. Items are staged — packed — through a
+/// sentinel-padded stack buffer so the network always runs at its full
+/// class width.
+pub(crate) fn sort_network(items: &mut [Item]) {
+    let n = items.len();
+    debug_assert!(n <= NETWORK_MAX_CAP);
+    if n <= 1 {
+        return;
+    }
+    telemetry::record_quiet(telemetry::Event::LsmKernelNetworkHit);
+    let mut buf = [LANE_MAX; NETWORK_MAX_CAP];
+    for (lane, &it) in buf.iter_mut().zip(items.iter()) {
+        *lane = pack(it);
+    }
+    batcher_dispatch(&mut buf, n);
+    for (it, &lane) in items.iter_mut().zip(buf.iter()) {
+        *it = unpack(lane);
+    }
+    debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Sort a batch of items: the tier-1 network for small batches,
+/// `sort_unstable` beyond the network cutoff. `Item`'s total order over
+/// `(key, seq)` makes stability moot — equal items are bit-identical.
+pub fn sort_items(items: &mut [Item]) {
+    if items.len() <= NETWORK_MAX_CAP {
+        sort_network(items);
+    } else {
+        items.sort_unstable();
+    }
+}
+
+/// Tier-1 merge of two sorted runs with `a.len() + b.len() <=`
+/// [`NETWORK_MAX_CAP`], appended to `out`. The runs are staged as a
+/// bitonic sequence — `a` ascending, sentinel padding, `b` reversed —
+/// and a single bitonic merge network of the combined size class sorts
+/// them with no data-dependent branches at all.
+pub fn merge_network_into(a: &[Item], b: &[Item], out: &mut Vec<Item>) {
+    let total = a.len() + b.len();
+    debug_assert!(0 < total && total <= NETWORK_MAX_CAP);
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    telemetry::record_quiet(telemetry::Event::LsmKernelNetworkHit);
+    let n = total.next_power_of_two().max(2);
+    let mut buf = [LANE_MAX; NETWORK_MAX_CAP];
+    for (lane, &x) in buf.iter_mut().zip(a.iter()) {
+        *lane = pack(x);
+    }
+    // `a` ascending, a sentinel plateau, then `b` descending: bitonic.
+    for (i, &x) in b.iter().enumerate() {
+        buf[n - 1 - i] = pack(x);
+    }
+    bitonic_dispatch(&mut buf, n);
+    let mut emit = [SENTINEL; NETWORK_MAX_CAP];
+    for (it, &lane) in emit.iter_mut().zip(buf.iter()) {
+        *it = unpack(lane);
+    }
+    out.extend_from_slice(&emit[..total]);
+    debug_assert!(out.windows(2).all(|w| w[0] <= w[1]) || out.len() > total);
+}
+
+/// Scalar branchless cursor merge of two sorted runs, appended to `out`
+/// (the PR 4 kernel, generalized to append). Exactly one cursor advances
+/// per iteration, by `take_a as usize`, compiling to conditional moves.
+/// Remains the fallback for lopsided merges the chunked kernel cannot
+/// cover and for the kernels-off A/B arm.
+pub fn scalar_merge_append(sa: &[Item], sb: &[Item], out: &mut Vec<Item>) {
+    let total = sa.len() + sb.len();
+    let base = out.len();
+    out.reserve(total);
+    // SAFETY: `out` holds capacity for `base + total` items; each loop
+    // iteration writes one item and advances exactly one source cursor,
+    // so `po` is bumped exactly `total` times across the loop and the
+    // two tail copies. Sources and destination are distinct buffers,
+    // and `Item` is `Copy`.
+    unsafe {
+        let mut pa = sa.as_ptr();
+        let ea = pa.add(sa.len());
+        let mut pb = sb.as_ptr();
+        let eb = pb.add(sb.len());
+        let mut po = out.as_mut_ptr().add(base);
+        while pa != ea && pb != eb {
+            let (x, y) = (*pa, *pb);
+            let take_a = x <= y;
+            *po = if take_a { x } else { y };
+            po = po.add(1);
+            pa = pa.add(take_a as usize);
+            pb = pb.add(!take_a as usize);
+        }
+        let ra = ea.offset_from(pa) as usize;
+        po.copy_from_nonoverlapping(pa, ra);
+        po.add(ra)
+            .copy_from_nonoverlapping(pb, eb.offset_from(pb) as usize);
+        out.set_len(base + total);
+    }
+}
+
+/// Tier-2b bidirectional branch-free merge of two sorted runs, appended
+/// to `out`. Used above [`MERGE_PATH_MIN`] total items, where the
+/// scalar cursor merge is limited by its serial `compare → conditional
+/// cursor bump → dependent load` chain (~a dozen cycles per item)
+/// rather than by branch mispredictions — the cursor kernel is already
+/// branchless.
+///
+/// The output is produced as two *independent* dependency chains
+/// interleaved in one loop: a forward chain emits the `total/2`
+/// smallest items from the fronts of both runs, while a backward chain
+/// emits the `total - total/2` largest from the backs, writing
+/// descending from the end of the output. Determinism of the merge
+/// (ties broken towards `a` in front order, towards `b` in back order)
+/// makes the two chains consume exactly complementary item sets, so
+/// they meet in the middle without communicating — the CPU overlaps
+/// the two chains and the critical path per item halves. Exhaustion
+/// guards are branches that stay predictable (taken only once a side
+/// runs dry).
+pub fn merge_bidirectional_append(a: &[Item], b: &[Item], out: &mut Vec<Item>) {
+    let (na, nb) = (a.len(), b.len());
+    let total = na + nb;
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    if na == 0 || nb == 0 {
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        return;
+    }
+    telemetry::record_quiet(telemetry::Event::LsmKernelBidiHit);
+    let base = out.len();
+    out.reserve(total);
+    let steps_f = total / 2;
+    let steps_b = total - steps_f;
+    // Each step is straight-line cmov code with *no* exhaustion guards:
+    // the outer loops only run a chain for as many steps as both of its
+    // cursors are provably in bounds (`chunk` is the joint safe window,
+    // recomputed whenever it closes), and once one input side of a chain
+    // is exhausted the chain's remaining output is a bulk tail copy of
+    // the other side. Determinism of the merge (ties → `a` in front
+    // order, mirrored to `b` from the back) makes the two chains consume
+    // exactly complementary item sets, so the forward cursors never pass
+    // the backward ones and the tail copies read exactly the unconsumed
+    // items.
+    //
+    // SAFETY: `out` has capacity for `base + total`; the forward chain
+    // writes indices `base..base + steps_f` exactly once ascending, the
+    // backward chain `base + steps_f..base + total` exactly once
+    // descending. The window bookkeeping keeps `ia < na`, `ib < nb`,
+    // `ja > 0`, `jb > 0` inside the step loops.
+    unsafe {
+        let po = out.as_mut_ptr().add(base);
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let (mut ja, mut jb) = (na, nb);
+        let mut of = 0usize;
+        let mut ob = total;
+        let (mut fl, mut bl) = (steps_f, steps_b);
+        macro_rules! fwd_step {
+            () => {{
+                let av = pack(*a.get_unchecked(ia));
+                let bv = pack(*b.get_unchecked(ib));
+                // Tie → `a`, matching the scalar cursor kernel.
+                let ta = av <= bv;
+                *po.add(of) = unpack(if ta { av } else { bv });
+                of += 1;
+                ia += ta as usize;
+                ib += !ta as usize;
+            }};
+        }
+        macro_rules! bwd_step {
+            () => {{
+                let aw = pack(*a.get_unchecked(ja - 1));
+                let bw = pack(*b.get_unchecked(jb - 1));
+                // Mirror tie rule: tie → `b` (it follows `a` in front
+                // order, so it leads from the back).
+                let tb = bw >= aw;
+                ob -= 1;
+                *po.add(ob) = unpack(if tb { bw } else { aw });
+                ja -= !tb as usize;
+                jb -= tb as usize;
+            }};
+        }
+        // Interleaved phase: both chains advance guard-free inside the
+        // joint safe window.
+        loop {
+            let chunk = fl.min(bl).min(na - ia).min(nb - ib).min(ja).min(jb);
+            if chunk == 0 {
+                break;
+            }
+            for _ in 0..chunk {
+                fwd_step!();
+                bwd_step!();
+            }
+            fl -= chunk;
+            bl -= chunk;
+        }
+        // Finish the forward chain alone, then its tail copy.
+        loop {
+            let chunk = fl.min(na - ia).min(nb - ib);
+            if chunk == 0 {
+                break;
+            }
+            for _ in 0..chunk {
+                fwd_step!();
+            }
+            fl -= chunk;
+        }
+        if fl > 0 {
+            let (src, cur) = if ia == na { (b, &mut ib) } else { (a, &mut ia) };
+            po.add(of).copy_from_nonoverlapping(src.as_ptr().add(*cur), fl);
+            *cur += fl;
+        }
+        // Finish the backward chain alone, then its tail copy.
+        loop {
+            let chunk = bl.min(ja).min(jb);
+            if chunk == 0 {
+                break;
+            }
+            for _ in 0..chunk {
+                bwd_step!();
+            }
+            bl -= chunk;
+        }
+        if bl > 0 {
+            let (src, cur) = if ja == 0 { (b, &mut jb) } else { (a, &mut ja) };
+            po.add(ob - bl)
+                .copy_from_nonoverlapping(src.as_ptr().add(*cur - bl), bl);
+        }
+        out.set_len(base + total);
+    }
+    debug_assert!(out[base..].windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Branch-free argmin over a non-empty slice of items: index of the
+/// smallest element (first occurrence on ties). The running best value
+/// and index update through conditional moves on the packed lane, so a
+/// random-ordered `heads` mirror costs no mispredictions — the branchy
+/// `if h < best` scan it replaces mispredicts every time the minimum
+/// moves. Used by `delete_min` on the heads mirror.
+pub(crate) fn argmin(items: &[Item]) -> usize {
+    debug_assert!(!items.is_empty());
+    let mut best = pack(items[0]);
+    let mut idx = 0usize;
+    for (i, &h) in items.iter().enumerate().skip(1) {
+        let v = pack(h);
+        let better = v < best;
+        best = if better { v } else { best };
+        idx = if better { i } else { idx };
+    }
+    idx
+}
+
+/// Tier-2 chunked bitonic merge of two sorted runs (each at least
+/// [`BITONIC_CHUNK`] long), appended to `out`.
+///
+/// The kernel keeps a `2 × BITONIC_CHUNK` stack buffer: the low half
+/// holds the carry (smallest unemitted items), the high half is refilled
+/// — reversed, making the buffer bitonic — from whichever input's next
+/// head is smaller. One four-stage merge network then makes the low half
+/// the next emitted chunk and the high half the new carry. The only
+/// data-dependent branch is the per-chunk refill choice. Tails shorter
+/// than a chunk are finished with the scalar kernel through a pooled
+/// scratch buffer.
+pub fn merge_bitonic_chunked(a: &[Item], b: &[Item], out: &mut Vec<Item>, pool: &mut BlockPool) {
+    const W: usize = BITONIC_CHUNK;
+    debug_assert!(a.len() >= W && b.len() >= W);
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    telemetry::record_quiet(telemetry::Event::LsmKernelBitonicHit);
+    let base = out.len();
+    out.reserve(a.len() + b.len());
+    let mut buf = [LANE_MAX; BITONIC_BUF];
+    for i in 0..W {
+        buf[i] = pack(a[i]);
+        buf[BITONIC_BUF - 1 - i] = pack(b[i]);
+    }
+    let (mut ia, mut ib) = (W, W);
+    loop {
+        bitonic_merge_pow2::<BITONIC_BUF>(&mut buf);
+        let mut emit = [SENTINEL; W];
+        for (it, &lane) in emit.iter_mut().zip(buf.iter()) {
+            *it = unpack(lane);
+        }
+        out.extend_from_slice(&emit);
+        if ia + W > a.len() || ib + W > b.len() {
+            break;
+        }
+        // Carry the W largest forward; refill from the input whose next
+        // item is smaller (the W smallest of everything loaded so far
+        // are then guaranteed to sit in the buffer).
+        buf.copy_within(W.., 0);
+        let from_a = a[ia] <= b[ib];
+        let src = if from_a { &a[ia..ia + W] } else { &b[ib..ib + W] };
+        for i in 0..W {
+            buf[BITONIC_BUF - 1 - i] = pack(src[i]);
+        }
+        if from_a {
+            ia += W;
+        } else {
+            ib += W;
+        }
+    }
+    // Tail: the carry (sorted, W items) plus both input remainders, of
+    // which at least one is shorter than a chunk. Merge the carry with
+    // the shorter remainder through pooled scratch, then append the
+    // result against the longer one with the scalar kernel.
+    let mut carry = [SENTINEL; W];
+    for (it, &lane) in carry.iter_mut().zip(buf[W..].iter()) {
+        *it = unpack(lane);
+    }
+    let (ra, rb) = (&a[ia..], &b[ib..]);
+    let (short, long) = if ra.len() <= rb.len() { (ra, rb) } else { (rb, ra) };
+    let mut scratch = pool.acquire(W + short.len());
+    scalar_merge_append(&carry, short, &mut scratch);
+    scalar_merge_append(&scratch, long, out);
+    pool.release(scratch);
+    debug_assert!(out[base..].windows(2).all(|w| w[0] <= w[1]));
+    debug_assert_eq!(out.len() - base, a.len() + b.len());
+}
+
+/// Tier-3 k-way merge of `runs` (each sorted ascending) into `out`
+/// through a loser tree: one comparison per tree level per emitted item,
+/// `O(total · log k)` overall, versus the `O(total · k)` repeated
+/// head-scan it replaces.
+///
+/// `heads` is a pooled scratch buffer (capacity at least
+/// `runs.len().next_power_of_two()`) holding the current head of every
+/// (sentinel-padded) run, so the inner loop reads one dense array; the
+/// loser/cursor index arrays are fixed stack arrays sized for
+/// [`MAX_FANOUT`]. Exhausted and padded runs hold [`SENTINEL`]; ties
+/// with real sentinel-valued items emit bit-identical copies, so the
+/// output multiset is preserved (exactly `total` items are emitted).
+pub(crate) fn k_way_merge_into(runs: &[&[Item]], heads: &mut Vec<Item>, out: &mut Vec<Item>) {
+    let k = runs.len();
+    debug_assert!((2..=MAX_FANOUT).contains(&k));
+    telemetry::record_quiet(telemetry::Event::LsmKernelLoserTreePass);
+    let kk = k.next_power_of_two();
+    debug_assert!(kk <= TREE_CAP && heads.capacity() >= kk);
+    let base = out.len();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    heads.clear();
+    for r in runs {
+        heads.push(r.first().copied().unwrap_or(SENTINEL));
+    }
+    heads.resize(kk, SENTINEL);
+    // Cursor per run and loser per internal node; `win` is build-only.
+    let mut pos = [0u32; TREE_CAP];
+    let mut loser = [0u32; TREE_CAP];
+    let mut win = [0u32; 2 * TREE_CAP];
+    for n in (1..2 * kk).rev() {
+        if n >= kk {
+            win[n] = (n - kk) as u32;
+        } else {
+            let (x, y) = (win[2 * n], win[2 * n + 1]);
+            let x_wins = heads[x as usize] <= heads[y as usize];
+            win[n] = if x_wins { x } else { y };
+            loser[n] = if x_wins { y } else { x };
+        }
+    }
+    let mut winner = win[1];
+    for _ in 0..total {
+        let w = winner as usize;
+        out.push(heads[w]);
+        pos[w] += 1;
+        heads[w] = runs
+            .get(w)
+            .and_then(|r| r.get(pos[w] as usize))
+            .copied()
+            .unwrap_or(SENTINEL);
+        // Replay the path from leaf `w` to the root: one comparison per
+        // level, swapping the path node's loser with the running winner
+        // whenever the stored loser is smaller.
+        let mut n = (kk + w) >> 1;
+        let mut cur = winner;
+        while n >= 1 {
+            if heads[loser[n] as usize] < heads[cur as usize] {
+                core::mem::swap(&mut loser[n], &mut cur);
+            }
+            n >>= 1;
+        }
+        winner = cur;
+    }
+    debug_assert_eq!(out.len() - base, total);
+    debug_assert!(out[base..].windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(keys: &[u64]) -> Vec<Item> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Item::new(k, i as u64))
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn cutoffs_are_consistent() {
+        assert!(NETWORK_MAX_CAP.is_power_of_two());
+        assert!(BITONIC_CHUNK.is_power_of_two());
+        assert!(BITONIC_BUF <= NETWORK_MAX_CAP);
+        assert!(TREE_CAP >= MAX_FANOUT);
+    }
+
+    #[test]
+    fn sort_network_every_size_reversed() {
+        for n in 0..=NETWORK_MAX_CAP {
+            let mut v = items(&(0..n as u64).rev().collect::<Vec<_>>());
+            sort_network(&mut v);
+            let mut expect = v.clone();
+            expect.sort();
+            assert_eq!(v, expect, "size {n}");
+        }
+    }
+
+    #[test]
+    fn sort_network_handles_sentinel_valued_items() {
+        let mut v = vec![
+            Item::new(u64::MAX, u64::MAX),
+            Item::new(3, 0),
+            Item::new(u64::MAX, u64::MAX),
+            Item::new(1, 9),
+        ];
+        sort_network(&mut v);
+        assert_eq!(v[0], Item::new(1, 9));
+        assert_eq!(v[1], Item::new(3, 0));
+        assert_eq!(v[2], Item::new(u64::MAX, u64::MAX));
+        assert_eq!(v[3], Item::new(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn merge_network_all_split_shapes() {
+        for la in 1..=16usize {
+            for lb in 1..=16usize {
+                let a: Vec<Item> = (0..la as u64).map(|k| Item::new(2 * k, 0)).collect();
+                let b: Vec<Item> = (0..lb as u64).map(|k| Item::new(2 * k + 1, 1)).collect();
+                let mut out = Vec::with_capacity(la + lb);
+                merge_network_into(&a, &b, &mut out);
+                let mut expect = [a, b].concat();
+                expect.sort();
+                assert_eq!(out, expect, "la={la} lb={lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_bitonic_matches_scalar() {
+        let mut pool = BlockPool::new();
+        let mut rng = 0x1234u64;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for (la, lb) in [(8, 8), (8, 9), (17, 8), (64, 64), (100, 9), (9, 100), (33, 57)] {
+            let mut a: Vec<Item> = (0..la).map(|i| Item::new(next() % 64, i)).collect();
+            let mut b: Vec<Item> = (0..lb).map(|i| Item::new(next() % 64, 1000 + i)).collect();
+            a.sort();
+            b.sort();
+            let mut out = Vec::new();
+            merge_bitonic_chunked(&a, &b, &mut out, &mut pool);
+            let mut expect = [a.clone(), b.clone()].concat();
+            expect.sort();
+            assert_eq!(out, expect, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn loser_tree_merges_uneven_runs() {
+        let runs_owned: Vec<Vec<Item>> = vec![
+            items(&[1, 5, 9, 13]),
+            items(&[2, 2, 2]),
+            items(&[0]),
+            vec![],
+            items(&[3, 4, 6, 7, 8, 10, 11, 12]),
+        ];
+        let runs: Vec<&[Item]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let mut heads = Vec::with_capacity(TREE_CAP);
+        let mut out = Vec::new();
+        k_way_merge_into(&runs, &mut heads, &mut out);
+        let mut expect: Vec<Item> = runs_owned.concat();
+        expect.sort();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn loser_tree_handles_sentinel_ties() {
+        let max = Item::new(u64::MAX, u64::MAX);
+        let runs_owned: Vec<Vec<Item>> = vec![vec![Item::new(1, 0), max], vec![max], vec![max]];
+        let runs: Vec<&[Item]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let mut heads = Vec::with_capacity(TREE_CAP);
+        let mut out = Vec::new();
+        k_way_merge_into(&runs, &mut heads, &mut out);
+        assert_eq!(out, vec![Item::new(1, 0), max, max, max]);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn kernel_tiers_record_telemetry() {
+        use pq_traits::telemetry::{snapshot, Event};
+        let before = snapshot();
+        let mut v = items(&[3, 1, 2]);
+        sort_network(&mut v);
+        let mut out = Vec::new();
+        merge_network_into(&v, &v.clone(), &mut out);
+        let big: Vec<Item> = (0..32).map(|k| Item::new(k, 0)).collect();
+        out.clear();
+        merge_bitonic_chunked(&big, &big.clone(), &mut out, &mut BlockPool::new());
+        let runs = [big.as_slice(), v.as_slice()];
+        let mut heads = Vec::with_capacity(TREE_CAP);
+        out.clear();
+        k_way_merge_into(&runs, &mut heads, &mut out);
+        let d = snapshot().since(&before);
+        assert!(d.get(Event::LsmKernelNetworkHit) >= 2);
+        assert!(d.get(Event::LsmKernelBitonicHit) >= 1);
+        assert!(d.get(Event::LsmKernelLoserTreePass) >= 1);
+    }
+
+    #[test]
+    fn bidi_merge_adversarial_shapes() {
+        let max = Item::new(u64::MAX, u64::MAX);
+        let zero = Item::new(0, 0);
+        let cases: Vec<(Vec<Item>, Vec<Item>)> = vec![
+            // All-equal runs, including both packed-lane extremes.
+            (vec![zero; 5], vec![zero; 9]),
+            (vec![max; 7], vec![max; 3]),
+            (vec![zero, zero, max, max], vec![zero, max]),
+            // Fully disjoint ranges, either order.
+            (items(&[1, 2, 3, 4]), items(&[10, 11, 12, 13])),
+            (items(&[10, 11, 12, 13]), items(&[1, 2, 3, 4])),
+            // Perfect interleave and lopsided lengths (tail-copy paths).
+            (items(&[0, 2, 4, 6, 8]), items(&[1, 3, 5, 7, 9])),
+            (items(&[5]), items(&(0..40).collect::<Vec<_>>())),
+            ((0..40).map(|k| Item::new(k, 0)).collect(), vec![Item::new(20, 1)]),
+            // Odd totals and empty sides.
+            (items(&[1, 1, 2]), items(&[1, 1])),
+            (Vec::new(), items(&[1, 2, 3])),
+            (items(&[1, 2, 3]), Vec::new()),
+        ];
+        for (a, b) in cases {
+            let mut a = a;
+            let mut b = b;
+            a.sort();
+            b.sort();
+            let mut got = Vec::new();
+            merge_bidirectional_append(&a, &b, &mut got);
+            let mut expect = Vec::new();
+            scalar_merge_append(&a, &b, &mut expect);
+            assert_eq!(got, expect, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn argmin_returns_first_minimum() {
+        // Ties must resolve to the first occurrence, matching the
+        // branchy `<` scan the kernels-off arm runs.
+        let v = items(&[5, 2, 9, 2, 7]);
+        assert_eq!(argmin(&v), 1);
+        let same = vec![Item::new(4, 4); 6];
+        assert_eq!(argmin(&same), 0);
+        assert_eq!(argmin(&[Item::new(1, 1)]), 0);
+    }
+
+    proptest::proptest! {
+        /// The bidirectional kernel is byte-for-byte equivalent to the
+        /// scalar cursor merge on arbitrary sorted runs with duplicate
+        /// keys (distinct values witness tie handling).
+        #[test]
+        fn prop_bidi_matches_scalar(
+            a in proptest::collection::vec(0u64..50, 0..120),
+            b in proptest::collection::vec(0u64..50, 0..120),
+        ) {
+            let mut a: Vec<Item> = a.iter().map(|&k| Item::new(k, 0)).collect();
+            let mut b: Vec<Item> = b.iter().map(|&k| Item::new(k, 1)).collect();
+            a.sort();
+            b.sort();
+            let mut got = Vec::new();
+            merge_bidirectional_append(&a, &b, &mut got);
+            let mut expect = Vec::new();
+            scalar_merge_append(&a, &b, &mut expect);
+            proptest::prop_assert_eq!(got, expect);
+        }
+
+        /// `argmin` agrees with the reference linear scan (first
+        /// occurrence on ties) on arbitrary non-empty slices.
+        #[test]
+        fn prop_argmin_matches_scan(
+            keys in proptest::collection::vec(0u64..30, 1..80)
+        ) {
+            let v = items(&keys);
+            let expect = v
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, it)| it)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            proptest::prop_assert_eq!(argmin(&v), expect);
+        }
+
+        #[test]
+        fn prop_batcher_matches_std_sort(
+            keys in proptest::collection::vec(0u64..16, 0..NETWORK_MAX_CAP + 1)
+        ) {
+            let mut v = items(&keys);
+            let mut expect = v.clone();
+            sort_network(&mut v);
+            expect.sort();
+            proptest::prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn prop_chunked_bitonic_equivalent(
+            a in proptest::collection::vec(0u64..100, BITONIC_CHUNK..80),
+            b in proptest::collection::vec(0u64..100, BITONIC_CHUNK..80),
+        ) {
+            let (mut a, mut b) = (a, b);
+            a.sort_unstable();
+            b.sort_unstable();
+            let ia: Vec<Item> = a.iter().map(|&k| Item::new(k, 0)).collect();
+            let ib: Vec<Item> = b.iter().map(|&k| Item::new(k, 1)).collect();
+            let mut out = Vec::new();
+            merge_bitonic_chunked(&ia, &ib, &mut out, &mut BlockPool::new());
+            let mut expect = [ia, ib].concat();
+            expect.sort();
+            proptest::prop_assert_eq!(out, expect);
+        }
+    }
+}

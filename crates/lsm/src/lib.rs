@@ -17,19 +17,24 @@
 //!
 //! Every block buffer is drawn from and recycled into a per-LSM
 //! [`BlockPool`] (see [`pool`]), so the insert/delete steady state
-//! performs no heap allocation: singleton inserts reuse one-slot
-//! buffers, the merge cascade recycles its sources, and compaction
-//! happens in place. `cargo test -p lsm --test alloc_free` proves this
-//! with a counting global allocator. [`legacy::LegacyLsm`] preserves the
-//! pre-pool kernels for A/B benchmarks (`lsm_kernels` in `pq-bench`).
+//! performs no heap allocation: inserts stage in a one-item field and
+//! pair into pool-drawn capacity-2 blocks, the merge cascade recycles
+//! its sources, and compaction happens in place. `cargo test -p lsm
+//! --test alloc_free` proves this with a counting global allocator.
+//! Merging and draining run the branch-free kernels from [`kernels`];
+//! [`Lsm::with_kernels_disabled`] keeps the PR 4 scalar path as an A/B
+//! arm, and [`legacy::LegacyLsm`] preserves the pre-pool kernels
+//! (`lsm_kernels` in `pq-bench` benches all four arms).
 
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod kernels;
 pub mod legacy;
 pub mod pool;
 
 pub use block::Block;
+pub use kernels::{sort_items, BITONIC_CHUNK, MERGE_PATH_MIN, NETWORK_MAX_CAP};
 pub use pool::{BlockPool, PoolStats};
 
 use std::collections::VecDeque;
@@ -44,7 +49,7 @@ use pq_traits::{Item, Key, SequentialPq, Value};
 /// cascade). Insertion appends a singleton block and merges the tail run
 /// right-to-left, so insertion cost is O(log n) amortized and
 /// `delete_min` is O(log n) worst case (scan of ≤ log n block heads).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Lsm {
     /// Sorted by strictly decreasing capacity; front is largest.
     blocks: VecDeque<Block>,
@@ -55,6 +60,31 @@ pub struct Lsm {
     heads: Vec<Item>,
     len: usize,
     pool: BlockPool,
+    /// Branch-free kernel tiers enabled (see [`kernels`]). `false` only
+    /// on the kernels-off A/B arm, which runs the PR 4 scalar merge and
+    /// repeated-pairwise drain instead.
+    branch_free: bool,
+    /// Deferred singleton (branch-free arm only): every other insert
+    /// parks its item here in O(1) instead of materializing a
+    /// capacity-1 block, and the next insert merges the pair straight
+    /// into a capacity-2 block — the singleton block machinery (pool
+    /// round-trip, capacity computation, deque and head-mirror pushes)
+    /// drops out of the hot path entirely. `delete_min`/`peek_min`
+    /// compare it against the block heads; drains flush it first.
+    staged: Option<Item>,
+}
+
+impl Default for Lsm {
+    fn default() -> Self {
+        Self {
+            blocks: VecDeque::new(),
+            heads: Vec::new(),
+            len: 0,
+            pool: BlockPool::new(),
+            branch_free: true,
+            staged: None,
+        }
+    }
 }
 
 impl Lsm {
@@ -68,17 +98,27 @@ impl Lsm {
     /// the allocation ablation; kernels are otherwise identical.
     pub fn with_pool_disabled() -> Self {
         Self {
-            blocks: VecDeque::new(),
-            heads: Vec::new(),
-            len: 0,
             pool: BlockPool::disabled(),
+            ..Self::default()
+        }
+    }
+
+    /// Create an empty LSM with the branch-free kernel tiers disabled:
+    /// merges run the scalar cursor kernel and draining runs the
+    /// repeated-pairwise head scan, exactly the PR 4 pooled baseline.
+    /// The "kernels off" arm of the `lsm_kernels` ablation.
+    pub fn with_kernels_disabled() -> Self {
+        Self {
+            branch_free: false,
+            ..Self::default()
         }
     }
 
     /// Build an LSM holding `items` (need not be sorted) as a single
-    /// block. O(n log n).
+    /// block. O(n log n); small batches go through the tier-1 sorting
+    /// network.
     pub fn from_items(mut items: Vec<Item>) -> Self {
-        items.sort_unstable();
+        kernels::sort_items(&mut items);
         Self::from_sorted(items)
     }
 
@@ -106,7 +146,10 @@ impl Lsm {
 
     /// Iterate over all live items in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &Item> {
-        self.blocks.iter().flat_map(|b| b.iter())
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .chain(self.staged.iter())
     }
 
     /// Remove and return the live items of the block with the *largest*
@@ -124,7 +167,15 @@ impl Lsm {
     /// Drain all live items, sorted ascending, via a k-way merge of the
     /// already-sorted blocks (no collect-then-sort). Used by DLSM
     /// spying. The drained block buffers are recycled into the pool.
+    ///
+    /// With the branch-free kernels enabled the k-way merge runs through
+    /// the [`kernels`] loser tree — one comparison per tree level per
+    /// emitted item, `O(total · log k)` — with its head mirror in a
+    /// pooled scratch buffer. The kernels-off arm keeps the PR 4
+    /// repeated-pairwise head scan (`O(total · k)`), which doubles as
+    /// the reference for the differential tests.
     pub fn take_all_sorted(&mut self) -> Vec<Item> {
+        self.flush_staged();
         match self.blocks.len() {
             0 => return Vec::new(),
             1 => {
@@ -135,27 +186,39 @@ impl Lsm {
             }
             _ => {}
         }
-        let mut out = self.pool.acquire(self.len);
-        // ≤ ⌈log₂ n⌉ + 1 blocks on a 64-bit machine, so fixed cursors.
-        let mut cursors = [0usize; usize::BITS as usize + 1];
         let nb = self.blocks.len();
-        debug_assert!(nb <= cursors.len());
-        loop {
-            let mut best: Option<(usize, Item)> = None;
-            for (i, block) in self.blocks.iter().enumerate() {
-                let live = block.live_slice();
-                if let Some(&head) = live.get(cursors[i]) {
-                    if best.is_none_or(|(_, cur)| head < cur) {
-                        best = Some((i, head));
+        let mut out = self.pool.acquire(self.len);
+        if self.branch_free {
+            let mut scratch = self.pool.acquire(nb.next_power_of_two());
+            // ≤ ⌈log₂ n⌉ + 1 blocks on a 64-bit machine, so a fixed
+            // run-slice array suffices.
+            let mut runs: [&[Item]; usize::BITS as usize + 1] = [&[]; usize::BITS as usize + 1];
+            debug_assert!(nb <= runs.len());
+            for (slot, block) in runs.iter_mut().zip(self.blocks.iter()) {
+                *slot = block.live_slice();
+            }
+            kernels::k_way_merge_into(&runs[..nb], &mut scratch, &mut out);
+            self.pool.release(scratch);
+        } else {
+            let mut cursors = [0usize; usize::BITS as usize + 1];
+            debug_assert!(nb <= cursors.len());
+            loop {
+                let mut best: Option<(usize, Item)> = None;
+                for (i, block) in self.blocks.iter().enumerate() {
+                    let live = block.live_slice();
+                    if let Some(&head) = live.get(cursors[i]) {
+                        if best.is_none_or(|(_, cur)| head < cur) {
+                            best = Some((i, head));
+                        }
                     }
                 }
-            }
-            match best {
-                Some((i, item)) => {
-                    out.push(item);
-                    cursors[i] += 1;
+                match best {
+                    Some((i, item)) => {
+                        out.push(item);
+                        cursors[i] += 1;
+                    }
+                    None => break,
                 }
-                None => break,
             }
         }
         debug_assert_eq!(out.len(), self.len);
@@ -176,6 +239,7 @@ impl Lsm {
             self.pool.release(block.into_buffer());
         }
         self.heads.clear();
+        self.staged = None;
         self.len = items.len();
         if !items.is_empty() {
             let block = Block::from_sorted(items);
@@ -185,29 +249,49 @@ impl Lsm {
         debug_assert!(self.check_invariants());
     }
 
+    /// Materialize a staged singleton (if any) as a regular block so
+    /// whole-structure operations (drains, splits) see every item in
+    /// the block deque. Off the hot path; `len` already counts it.
+    fn flush_staged(&mut self) {
+        if let Some(item) = self.staged.take() {
+            let singleton = Block::singleton_from(&mut self.pool, item);
+            self.blocks.push_back(singleton);
+            self.heads.push(item);
+            self.restore_distinct_capacities();
+        }
+    }
+
     /// Merge a sorted batch into this LSM as one bulk operation: the
-    /// current contents are drained (k-way merge) and two-way merged with
-    /// `items` through the pool, instead of `items.len()` separate
-    /// insert cascades. Used by DLSM spying to install stolen items.
+    /// batch is installed as a single tail block and the capacity
+    /// cascade merges it into place, instead of `items.len()` separate
+    /// insert cascades. Cost is proportional to the blocks the new
+    /// block collides with — O(batch) amortized, never a full drain —
+    /// so it is safe on the per-commit path of batched handles as well
+    /// as for DLSM spying's stolen-item installs.
     pub fn merge_in_sorted(&mut self, items: Vec<Item>) {
         debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
         if items.is_empty() {
             return;
         }
-        if self.len == 0 {
-            self.rebuild_from_sorted(items);
+        self.len += items.len();
+        let block = Block::from_sorted(items);
+        self.heads.push(block.head());
+        self.blocks.push_back(block);
+        self.restore_distinct_capacities();
+    }
+
+    /// As [`Lsm::merge_in_sorted`], but copying from a borrowed sorted
+    /// slice into a pool-drawn buffer, so a caller-retained staging
+    /// buffer (e.g. a handle's insert buffer) can be reused across
+    /// flushes without surrendering its allocation.
+    pub fn merge_in_from(&mut self, items: &[Item]) {
+        debug_assert!(items.windows(2).all(|w| w[0] <= w[1]));
+        if items.is_empty() {
             return;
         }
-        let mine = self.take_all_sorted();
-        let merged = Block::merge_into(
-            Block::from_sorted(mine),
-            Block::from_sorted(items),
-            &mut self.pool,
-        );
-        self.len = merged.len();
-        self.heads.push(merged.head());
-        self.blocks.push_back(merged);
-        debug_assert!(self.check_invariants());
+        let mut buf = self.pool.acquire(items.len());
+        buf.extend_from_slice(items);
+        self.merge_in_sorted(buf);
     }
 
     /// Split for work stealing: drain everything, keep the even-indexed
@@ -247,6 +331,15 @@ impl Lsm {
     /// equal-capacity blocks (both filled past half) yields exactly the
     /// doubled capacity, so violations can only ever sit at the tail —
     /// no interior shifting, no restarts.
+    ///
+    /// Each level's pairwise merge dispatches through
+    /// [`Block::merge_with`], so with the branch-free kernels enabled
+    /// every level of at least [`kernels::MERGE_PATH_MIN`] combined
+    /// items runs on the bidirectional two-chain kernel. (A fused
+    /// variant that drained the whole colliding run in one tier-3
+    /// loser-tree pass was benched and lost: its per-call tree setup
+    /// and per-item replay cost more than the level-by-level rewrites
+    /// it saved — see the EXPERIMENTS.md kernel ablation.)
     fn restore_distinct_capacities(&mut self) {
         let n = self.blocks.len();
         if n < 2 || self.blocks[n - 1].capacity() < self.blocks[n - 2].capacity() {
@@ -264,7 +357,7 @@ impl Lsm {
             let prev = self.blocks.pop_back().expect("checked non-empty");
             let prev_head = self.heads.pop().expect("mirrors blocks");
             carried_head = carried_head.min(prev_head);
-            carried = Block::merge_into(prev, carried, &mut self.pool);
+            carried = Block::merge_with(prev, carried, &mut self.pool, self.branch_free);
         }
         self.blocks.push_back(carried);
         self.heads.push(carried_head);
@@ -286,7 +379,7 @@ impl Lsm {
             let right = self.blocks.remove(idx + 1).expect("index in range");
             self.heads.remove(idx + 1);
             let left = std::mem::replace(&mut self.blocks[idx], Block::placeholder());
-            self.blocks[idx] = Block::merge_into(left, right, &mut self.pool);
+            self.blocks[idx] = Block::merge_with(left, right, &mut self.pool, self.branch_free);
             self.heads[idx] = self.blocks[idx].head();
         }
         debug_assert!(self.check_invariants());
@@ -306,14 +399,16 @@ impl Lsm {
             .blocks
             .iter()
             .all(|b| b.len() * 2 > b.capacity() && b.len() <= b.capacity() && b.is_sorted());
-        let len_ok = self.len == self.blocks.iter().map(Block::len).sum::<usize>();
+        let len_ok = self.len
+            == self.blocks.iter().map(Block::len).sum::<usize>() + usize::from(self.staged.is_some());
         let heads_ok = self.heads.len() == self.blocks.len()
             && self
                 .heads
                 .iter()
                 .zip(self.blocks.iter())
                 .all(|(&h, b)| b.peek() == Some(h));
-        caps_decreasing && fill_ok && len_ok && heads_ok
+        let staged_ok = self.staged.is_none() || self.branch_free;
+        caps_decreasing && fill_ok && len_ok && heads_ok && staged_ok
     }
 }
 
@@ -321,11 +416,29 @@ impl SequentialPq for Lsm {
     fn insert(&mut self, key: Key, value: Value) {
         let item = Item::new(key, value);
         self.len += 1;
-        // Half of all inserts land next to a capacity-1 tail block and
-        // immediately merge with it. Doing that pairwise merge inline —
-        // one compare, two stores — skips materializing the new
-        // singleton and the generic merge kernel for the hottest
-        // cascade level; the cascade then continues from capacity 2.
+        // Branch-free arm: defer the singleton. Every other insert is a
+        // single field store; the next one merges the staged pair —
+        // one compare, two stores — directly into a capacity-2 block
+        // and lets the cascade continue from there.
+        if self.branch_free {
+            match self.staged.take() {
+                None => self.staged = Some(item),
+                Some(prev) => {
+                    let (lo, hi) = if item <= prev { (item, prev) } else { (prev, item) };
+                    let mut buf = self.pool.acquire(2);
+                    buf.push(lo);
+                    buf.push(hi);
+                    self.blocks.push_back(Block::from_sorted(buf));
+                    self.heads.push(lo);
+                    self.restore_distinct_capacities();
+                }
+            }
+            return;
+        }
+        // Kernels-off arm (frozen PR 4 baseline): half of all inserts
+        // land next to a capacity-1 tail block and immediately merge
+        // with it inline, skipping the singleton materialization for
+        // the hottest cascade level.
         if self.blocks.back().is_some_and(|b| b.capacity() == 1) {
             let old = self.blocks.pop_back().expect("checked non-empty");
             self.heads.pop();
@@ -350,12 +463,34 @@ impl SequentialPq for Lsm {
         // reads a few contiguous cache lines and dereferences exactly
         // one block buffer (the winner's), instead of chasing every
         // block's heap buffer for its head.
-        let mut best = *self.heads.first()?;
-        let mut idx = 0;
-        for (i, &h) in self.heads.iter().enumerate().skip(1) {
-            if h < best {
-                best = h;
-                idx = i;
+        if self.heads.is_empty() {
+            if let Some(s) = self.staged.take() {
+                self.len -= 1;
+                return Some(s);
+            }
+            return None;
+        }
+        let idx = if self.branch_free {
+            kernels::argmin(&self.heads)
+        } else {
+            let mut best = self.heads[0];
+            let mut idx = 0;
+            for (i, &h) in self.heads.iter().enumerate().skip(1) {
+                if h < best {
+                    best = h;
+                    idx = i;
+                }
+            }
+            idx
+        };
+        let best = self.heads[idx];
+        if let Some(s) = self.staged {
+            // A staged tie is served first: equal items are
+            // bit-identical, so either order yields the same bytes.
+            if s <= best {
+                self.staged = None;
+                self.len -= 1;
+                return Some(s);
             }
         }
         debug_assert_eq!(self.blocks[idx].peek(), Some(best));
@@ -379,7 +514,10 @@ impl SequentialPq for Lsm {
     }
 
     fn peek_min(&self) -> Option<Item> {
-        self.heads.iter().min().copied()
+        match (self.heads.iter().min().copied(), self.staged) {
+            (Some(h), Some(s)) => Some(h.min(s)),
+            (h, s) => h.or(s),
+        }
     }
 
     fn len(&self) -> usize {
@@ -391,6 +529,7 @@ impl SequentialPq for Lsm {
             self.pool.release(block.into_buffer());
         }
         self.heads.clear();
+        self.staged = None;
         self.len = 0;
     }
 }
@@ -589,6 +728,60 @@ mod tests {
         assert!(Lsm::new().split_alternating().is_empty());
     }
 
+    /// Adversarial loser-tree differential: build identical multi-block
+    /// shapes with the branch-free and kernels-off arms and compare
+    /// `take_all_sorted` on all-equal, pre-sorted and reverse-sorted
+    /// block sets (the pairwise head scan is the reference kernel).
+    #[test]
+    fn take_all_sorted_matches_pairwise_reference() {
+        type KeyFn = Box<dyn Fn(u64) -> u64>;
+        let shapes: [(&str, KeyFn); 3] = [
+            ("all-equal", Box::new(|_| 42)),
+            ("pre-sorted", Box::new(|k| k)),
+            ("reverse-sorted", Box::new(|k| 500 - k)),
+        ];
+        for (name, keyed) in shapes {
+            let mut fast = Lsm::new();
+            let mut reference = Lsm::with_kernels_disabled();
+            for k in 0..500u64 {
+                fast.insert(keyed(k), k);
+                reference.insert(keyed(k), k);
+            }
+            // Interior deletions give some blocks dead prefixes.
+            for _ in 0..77 {
+                assert_eq!(fast.delete_min(), reference.delete_min(), "{name}");
+            }
+            assert!(fast.block_count() > 1, "{name}: want a k-way merge");
+            assert_eq!(fast.take_all_sorted(), reference.take_all_sorted(), "{name}");
+            assert!(fast.is_empty() && reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn kernels_disabled_still_correct() {
+        let mut l = Lsm::with_kernels_disabled();
+        for k in (0..300u64).rev() {
+            l.insert(k, k);
+        }
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        assert_eq!(out, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_in_from_retains_caller_buffer() {
+        let mut l = Lsm::new();
+        l.insert(5, 0);
+        let staged = vec![Item::new(1, 1), Item::new(9, 1)];
+        l.merge_in_from(&staged);
+        assert_eq!(staged.len(), 2, "caller keeps the staging buffer");
+        assert_eq!(l.len(), 3);
+        assert!(l.check_invariants());
+        l.merge_in_from(&[]);
+        assert_eq!(l.len(), 3);
+        let out: Vec<Key> = std::iter::from_fn(|| l.delete_min()).map(|i| i.key).collect();
+        assert_eq!(out, vec![1, 5, 9]);
+    }
+
     #[test]
     fn deletions_shrink_blocks() {
         let mut l = Lsm::new();
@@ -600,6 +793,54 @@ mod tests {
             assert!(l.check_invariants());
         }
         assert_eq!(l.len(), 28);
+    }
+
+    #[test]
+    fn staged_singleton_is_observable_everywhere() {
+        // One insert parks the item in the staging slot: no block
+        // exists yet, but every read path must see it.
+        let mut l = Lsm::new();
+        l.insert(7, 9);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.block_count(), 0);
+        assert_eq!(l.peek_min(), Some(Item::new(7, 9)));
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![Item::new(7, 9)]);
+        assert!(l.check_invariants());
+        assert_eq!(l.delete_min(), Some(Item::new(7, 9)));
+        assert_eq!(l.delete_min(), None);
+
+        // Drains flush the staged item into the output.
+        let mut l = Lsm::new();
+        for k in [5u64, 3, 1] {
+            l.insert(k, 0);
+        }
+        let drained: Vec<Key> = l.take_all_sorted().iter().map(|i| i.key).collect();
+        assert_eq!(drained, vec![1, 3, 5]);
+        assert!(l.is_empty());
+
+        // A staged item smaller than every block head is served first.
+        let mut l = Lsm::new();
+        l.insert(5, 0);
+        l.insert(3, 0);
+        l.insert(1, 0);
+        assert_eq!(l.delete_min(), Some(Item::new(1, 0)));
+        assert_eq!(l.delete_min(), Some(Item::new(3, 0)));
+        assert_eq!(l.delete_min(), Some(Item::new(5, 0)));
+    }
+
+    #[test]
+    fn split_alternating_sees_staged_item() {
+        let mut l = Lsm::new();
+        for k in 0..5u64 {
+            l.insert(k, 0);
+        }
+        // 5 inserts leave the fifth staged; the split must cover it.
+        let steal = l.split_alternating();
+        assert_eq!(steal.len() + l.len(), 5);
+        let mut all: Vec<Key> = steal.iter().map(|i| i.key).collect();
+        all.extend(l.take_all_sorted().iter().map(|i| i.key));
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
     }
 
     proptest::proptest! {
@@ -631,6 +872,32 @@ mod tests {
             }
             let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
             proptest::prop_assert!(l.block_count() <= bound);
+        }
+
+        /// The branch-free tiers are a drop-in replacement: any op
+        /// sequence yields the same observable behaviour as the
+        /// kernels-off (PR 4 scalar) arm, including mid-sequence drains.
+        #[test]
+        fn prop_matches_kernels_off(
+            ops in proptest::collection::vec((0u8..4, 0u64..500), 0..300)
+        ) {
+            let mut fast = Lsm::new();
+            let mut reference = Lsm::with_kernels_disabled();
+            for (i, &(op, k)) in ops.iter().enumerate() {
+                match op {
+                    0 | 1 => {
+                        fast.insert(k, i as u64);
+                        reference.insert(k, i as u64);
+                    }
+                    2 => proptest::prop_assert_eq!(fast.delete_min(), reference.delete_min()),
+                    _ => proptest::prop_assert_eq!(
+                        fast.take_all_sorted(),
+                        reference.take_all_sorted()
+                    ),
+                }
+                proptest::prop_assert_eq!(fast.len(), reference.len());
+                proptest::prop_assert!(fast.check_invariants());
+            }
         }
 
         #[test]

@@ -75,11 +75,23 @@ pub enum Event {
     /// LSM block pool: bytes of buffer capacity returned to a free list
     /// for reuse (recorded with [`record_n`]).
     LsmPoolRecycledBytes,
+    /// LSM kernels: a sort or merge ran through a tier-1 sorting/merge
+    /// network (combined size ≤ `NETWORK_MAX_CAP`).
+    LsmKernelNetworkHit,
+    /// LSM kernels: a merge ran through the tier-2 chunked bitonic
+    /// kernel (both inputs at least one `BITONIC_CHUNK` long).
+    LsmKernelBitonicHit,
+    /// LSM kernels: a merge ran through the tier-2b bidirectional
+    /// two-chain kernel (combined size ≥ `MERGE_PATH_MIN`).
+    LsmKernelBidiHit,
+    /// LSM kernels: a drain ran through the tier-3 k-way loser tree
+    /// (one `take_all_sorted` pass over ≥ 2 blocks).
+    LsmKernelLoserTreePass,
 }
 
 impl Event {
     /// Every event, in stable export order.
-    pub const ALL: [Event; 13] = [
+    pub const ALL: [Event; 17] = [
         Event::SkiplistFindRestart,
         Event::SkiplistCasRetry,
         Event::DlsmSpyAttempt,
@@ -93,6 +105,10 @@ impl Event {
         Event::LsmPoolHit,
         Event::LsmPoolMiss,
         Event::LsmPoolRecycledBytes,
+        Event::LsmKernelNetworkHit,
+        Event::LsmKernelBitonicHit,
+        Event::LsmKernelBidiHit,
+        Event::LsmKernelLoserTreePass,
     ];
 
     /// Number of distinct events.
@@ -114,6 +130,10 @@ impl Event {
             Event::LsmPoolHit => "lsm_pool_hit",
             Event::LsmPoolMiss => "lsm_pool_miss",
             Event::LsmPoolRecycledBytes => "lsm_pool_recycled_bytes",
+            Event::LsmKernelNetworkHit => "lsm_kernel_network_hits",
+            Event::LsmKernelBitonicHit => "lsm_kernel_bitonic_hits",
+            Event::LsmKernelBidiHit => "lsm_kernel_bidi_hits",
+            Event::LsmKernelLoserTreePass => "lsm_kernel_losertree_passes",
         }
     }
 }

@@ -25,22 +25,30 @@ INSTR_MAX_OVERHEAD_PCT="${INSTR_MAX_OVERHEAD_PCT:-5}"
 # target on quiet hardware is 1.3; default 1.0 so noisy shared runners
 # only fail on a real regression.
 LSM_KERNEL_MIN_SPEEDUP="${LSM_KERNEL_MIN_SPEEDUP:-1.0}"
+# Floor for the branch-free kernel tier gate: geomean (steady ×
+# sawtooth) of the kernels-on arm over the kernels-off arm (the frozen
+# PR 4 pooled baseline). Acceptance target on quiet hardware is 1.15;
+# default 1.0 so noisy shared runners only fail on a real regression.
+KERNEL_TIER_MIN_SPEEDUP="${KERNEL_TIER_MIN_SPEEDUP:-1.0}"
 
 cargo run -p pq-bench --release --offline --bin mq_smoke -- \
     --threads "$THREADS" \
     --duration-ms "$DURATION_MS" \
     --out BENCH_multiqueue.json
 
-echo "== LSM kernel ablation (legacy vs pool-off vs pool-on, gate ${LSM_KERNEL_MIN_SPEEDUP}x) =="
-# Sequential A/B of the allocation-free merge kernels plus a concurrent
-# dlsm/klsm sanity sweep; writes BENCH_lsm_kernels.json (see
-# crates/bench/src/bin/lsm_kernels.rs and EXPERIMENTS.md "Allocation and
-# merge-kernel ablation"). Exits non-zero if the pool-on geomean
-# speedup over the legacy kernels falls below the gate.
+echo "== LSM kernel ablation (legacy/pool-off/kernels-off/pool-on, gates ${LSM_KERNEL_MIN_SPEEDUP}x legacy, ${KERNEL_TIER_MIN_SPEEDUP}x kernels-off) =="
+# Sequential 4-arm A/B of the allocation-free merge kernels and the
+# branch-free kernel tiers plus a concurrent dlsm/klsm sanity sweep;
+# writes BENCH_lsm_kernels.json (see crates/bench/src/bin/lsm_kernels.rs
+# and EXPERIMENTS.md "Branch-free kernel ablation"). Exits non-zero if
+# the pool-on geomean speedup over the legacy kernels falls below
+# LSM_KERNEL_MIN_SPEEDUP, or its speedup over the kernels-off arm (the
+# frozen PR 4 pooled baseline) falls below KERNEL_TIER_MIN_SPEEDUP.
 cargo run -p pq-bench --release --offline --bin lsm_kernels -- \
     --threads "$THREADS" \
     --duration-ms "$DURATION_MS" \
     --min-speedup "$LSM_KERNEL_MIN_SPEEDUP" \
+    --min-kernel-speedup "$KERNEL_TIER_MIN_SPEEDUP" \
     --out BENCH_lsm_kernels.json
 
 echo "== instrumentation overhead (limit ${INSTR_MAX_OVERHEAD_PCT}%) =="
