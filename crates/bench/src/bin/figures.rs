@@ -15,8 +15,9 @@ use std::time::Duration;
 use harness::{experiments, run_latency, run_throughput, QueueSpec, ThroughputResult};
 use pq_bench::{
     events_since, format_throughput_table, render_chart, render_csv, MetricsReport, Series,
+    TraceFile,
 };
-use pq_traits::telemetry;
+use pq_traits::{telemetry, trace};
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -31,6 +32,7 @@ struct Args {
     chart: bool,
     csv: bool,
     metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut chart = false;
     let mut csv = false;
     let mut metrics: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -80,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
             "--chart" => chart = true,
             "--csv" => csv = true,
             "--metrics" => metrics = Some(take(&mut i)?),
+            "--trace" => trace_path = Some(take(&mut i)?),
             // Thread grids of the paper's four machines (physical cores,
             // then into hyperthreading where the machine has it).
             "--machine" => {
@@ -95,7 +99,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: figures [--experiment <id>]... [--all] [--threads 1,2,4,8] \
                      [--queues klsm128,linden,...] [--prefill N] [--duration-ms N] \
-                     [--reps N] [--seed N] [--chart] [--csv] [--metrics out.json]\n\
+                     [--reps N] [--seed N] [--chart] [--csv] [--metrics out.json] \
+                     [--trace out.trace.json]\n\
                      experiments: {}",
                     experiments::all()
                         .iter()
@@ -109,6 +114,9 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
+    if trace_path.is_some() && !trace::compiled() {
+        return Err("--trace requires building with --features trace".to_owned());
+    }
     Ok(Args {
         experiments: experiments_sel.unwrap_or_else(|| vec![experiments::by_id("fig4a").unwrap()]),
         threads,
@@ -120,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
         chart,
         csv,
         metrics,
+        trace: trace_path,
     })
 }
 
@@ -132,6 +141,7 @@ fn main() {
         }
     };
     let mut report = args.metrics.as_ref().map(|_| MetricsReport::new("figures"));
+    let mut tracefile = args.trace.as_ref().map(|_| TraceFile::new());
     for exp in &args.experiments {
         let mut rows: Vec<Vec<ThroughputResult>> = Vec::new();
         for &spec in &args.queues {
@@ -147,7 +157,13 @@ fn main() {
                     seed: args.seed,
                 };
                 let before = telemetry::snapshot();
+                if tracefile.is_some() {
+                    trace::start(trace::DEFAULT_CAPACITY);
+                }
                 let r = run_throughput(spec, &cfg);
+                if let Some(tf) = tracefile.as_mut() {
+                    tf.push_cell(&format!("{} {} t{t}", exp.id, r.queue), t, trace::stop());
+                }
                 eprintln!(
                     "  [{}] {} @ {} threads: {:.3} MOps/s",
                     exp.id,
@@ -181,7 +197,17 @@ fn main() {
                     seed: args.seed,
                 };
                 let before = telemetry::snapshot();
+                if tracefile.is_some() {
+                    trace::start(trace::DEFAULT_CAPACITY);
+                }
                 let r = run_latency(spec, &cfg);
+                if let Some(tf) = tracefile.as_mut() {
+                    tf.push_cell(
+                        &format!("{} {} latency t{t}", exp.id, r.queue),
+                        t,
+                        trace::stop(),
+                    );
+                }
                 eprintln!(
                     "  [{}] {} latency @ {} threads: insert p50 {}ns, delete p50 {}ns",
                     exp.id, r.queue, t, r.insert.p50, r.delete.p50
@@ -232,6 +258,16 @@ fn main() {
             "wrote {path} ({} cells, telemetry {})",
             report.len(),
             if telemetry::enabled() { "on" } else { "off" }
+        );
+    }
+    if let (Some(path), Some(tf)) = (&args.trace, &tracefile) {
+        if let Err(e) = tf.write(path) {
+            eprintln!("figures: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote trace {path} (dropped records: {})",
+            tf.dropped_total()
         );
     }
 }

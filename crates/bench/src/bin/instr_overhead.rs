@@ -1,12 +1,18 @@
-//! A/B overhead check for the [`Instrumented`] wrapper.
+//! A/B overhead check for the observability layers.
 //!
-//! Runs the same uniform throughput workload twice — once on a plain
-//! MultiQueue and once on the same queue wrapped in [`Instrumented`] —
-//! and fails (exit 1) when the wrapper costs more than
-//! `--max-overhead-pct` percent of throughput. With per-handle
-//! cache-line-padded counter shards the wrapper should be nearly free;
-//! this binary is the regression guard `scripts/bench_smoke.sh` runs in
-//! CI.
+//! Runs the same uniform throughput workload on a plain MultiQueue and
+//! A/Bs two instrumentation layers against it:
+//!
+//! * the [`Instrumented`] wrapper (per-handle sharded op counters),
+//!   gated at `--max-overhead-pct` percent of plain throughput;
+//! * when built with `--features trace`, an arm with an active
+//!   flight-recorder trace ([`pq_traits::trace`]), gated at
+//!   `--max-trace-overhead-pct` percent — guarding the batch-span
+//!   design against regressions that put clock reads or shared-line
+//!   traffic in the hot loop.
+//!
+//! Fails (exit 1) when either layer exceeds its limit; this binary is
+//! the regression guard `scripts/bench_smoke.sh` runs in CI.
 //!
 //! ```text
 //! cargo run -p pq-bench --release --bin instr_overhead -- \
@@ -16,7 +22,7 @@
 use std::time::Duration;
 
 use harness::{experiments, run_throughput_with};
-use pq_traits::Instrumented;
+use pq_traits::{trace, Instrumented};
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -29,6 +35,7 @@ struct Args {
     reps: usize,
     seed: u64,
     max_overhead_pct: f64,
+    max_trace_overhead_pct: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 3,
         seed: 0x5EED,
         max_overhead_pct: 5.0,
+        max_trace_overhead_pct: 5.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -60,10 +68,13 @@ fn parse_args() -> Result<Args, String> {
             "--max-overhead-pct" => {
                 args.max_overhead_pct = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--max-trace-overhead-pct" => {
+                args.max_trace_overhead_pct = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: instr_overhead [--threads N] [--prefill N] [--duration-ms N] \
-                     [--reps N] [--seed N] [--max-overhead-pct F]"
+                     [--reps N] [--seed N] [--max-overhead-pct F] [--max-trace-overhead-pct F]"
                 );
                 std::process::exit(0);
             }
@@ -126,11 +137,58 @@ fn main() {
     );
     // Run-to-run noise makes the wrapped run occasionally *faster*;
     // only a positive gap beyond the limit is a failure.
+    let mut failed = false;
     if overhead_pct > args.max_overhead_pct {
         eprintln!(
             "instr_overhead: FAIL — instrumentation costs {overhead_pct:.2}% > {:.2}%",
             args.max_overhead_pct
         );
+        failed = true;
+    }
+
+    // Trace-on arm: same plain queue, but with the flight recorder
+    // actively capturing batch spans during the run.
+    if trace::compiled() {
+        eprintln!("running traced multiqueue ({} threads)...", args.threads);
+        trace::start(trace::DEFAULT_CAPACITY);
+        let traced = run_throughput_with(
+            "traced-multiqueue",
+            || Mq::new(4, args.threads),
+            &cfg,
+        );
+        let data = trace::stop();
+        eprintln!(
+            "  {:.3} MOps/s ({} trace records, {} dropped)",
+            traced.mops(),
+            data.records_total(),
+            data.dropped_total(),
+        );
+        let trace_overhead_pct = if plain.summary.mean > 0.0 {
+            (plain.summary.mean - traced.summary.mean) / plain.summary.mean * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "traced {:.3} MOps/s, trace overhead {trace_overhead_pct:.2}% (limit {:.2}%)",
+            traced.mops(),
+            args.max_trace_overhead_pct,
+        );
+        if data.records_total() == 0 {
+            eprintln!("instr_overhead: FAIL — trace arm recorded nothing");
+            failed = true;
+        }
+        if trace_overhead_pct > args.max_trace_overhead_pct {
+            eprintln!(
+                "instr_overhead: FAIL — tracing costs {trace_overhead_pct:.2}% > {:.2}%",
+                args.max_trace_overhead_pct
+            );
+            failed = true;
+        }
+    } else {
+        eprintln!("trace feature not compiled; skipping trace-on arm");
+    }
+
+    if failed {
         std::process::exit(1);
     }
     println!("instr_overhead: OK");

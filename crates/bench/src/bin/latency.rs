@@ -7,8 +7,8 @@
 //! ```
 
 use harness::{experiments, run_latency, QueueSpec};
-use pq_bench::{events_since, MetricsReport};
-use pq_traits::telemetry;
+use pq_bench::{events_since, MetricsReport, TraceFile};
+use pq_traits::{telemetry, trace};
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -19,6 +19,7 @@ fn main() {
     let mut exp_id = "fig4a".to_owned();
     let mut queues = QueueSpec::paper_set();
     let mut metrics: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -42,10 +43,12 @@ fn main() {
                     .collect();
             }
             "--metrics" => metrics = Some(take(&mut i)),
+            "--trace" => trace_path = Some(take(&mut i)),
             "--help" | "-h" => {
                 println!(
                     "usage: latency [--threads N] [--ops-per-thread N] [--prefill N] \
-                     [--experiment <id>] [--queues a,b,c] [--metrics out.json]"
+                     [--experiment <id>] [--queues a,b,c] [--metrics out.json] \
+                     [--trace out.trace.json]"
                 );
                 return;
             }
@@ -55,6 +58,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if trace_path.is_some() && !trace::compiled() {
+        eprintln!("error: --trace requires building with --features trace");
+        std::process::exit(2);
     }
 
     let exp = experiments::by_id(&exp_id).expect("known experiment");
@@ -71,6 +78,7 @@ fn main() {
         "del max"
     );
     let mut report = metrics.as_ref().map(|_| MetricsReport::new("latency"));
+    let mut tracefile = trace_path.as_ref().map(|_| TraceFile::new());
     for spec in queues {
         let cfg = BenchConfig {
             threads,
@@ -82,7 +90,13 @@ fn main() {
             seed: 0x1A7,
         };
         let before = telemetry::snapshot();
+        if tracefile.is_some() {
+            trace::start(trace::DEFAULT_CAPACITY);
+        }
         let r = run_latency(spec, &cfg);
+        if let Some(tf) = tracefile.as_mut() {
+            tf.push_cell(&format!("{exp_id} {} t{threads}", r.queue), threads, trace::stop());
+        }
         if let Some(report) = report.as_mut() {
             report.push_latency_cell(&exp_id, &r, &events_since(&before));
         }
@@ -108,6 +122,16 @@ fn main() {
             "wrote {path} ({} cells, telemetry {})",
             report.len(),
             if telemetry::enabled() { "on" } else { "off" }
+        );
+    }
+    if let (Some(path), Some(tf)) = (&trace_path, &tracefile) {
+        if let Err(e) = tf.write(path) {
+            eprintln!("latency: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote trace {path} (dropped records: {})",
+            tf.dropped_total()
         );
     }
 }

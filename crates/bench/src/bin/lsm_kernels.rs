@@ -35,7 +35,8 @@ use std::time::{Duration, Instant};
 use harness::{experiments, run_throughput, QueueSpec, ThroughputResult};
 use lsm::legacy::LegacyLsm;
 use lsm::Lsm;
-use pq_traits::SequentialPq;
+use pq_bench::{run_metadata_json, TraceFile};
+use pq_traits::{trace, SequentialPq};
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -50,6 +51,7 @@ struct Args {
     min_speedup: f64,
     min_kernel_speedup: f64,
     out: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         min_speedup: 0.0,
         min_kernel_speedup: 0.0,
         out: "BENCH_lsm_kernels.json".to_owned(),
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,12 +94,16 @@ fn parse_args() -> Result<Args, String> {
                 args.min_kernel_speedup = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--out" => args.out = take(&mut i)?,
+            "--trace" => args.trace = Some(take(&mut i)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
     }
     if args.threads == 0 || args.size == 0 || args.ops == 0 {
         return Err("--threads/--size/--ops must be >= 1".into());
+    }
+    if args.trace.is_some() && !trace::compiled() {
+        return Err("--trace requires building with --features trace".into());
     }
     Ok(args)
 }
@@ -319,12 +326,33 @@ fn main() {
         QueueSpec::Klsm(256),
         QueueSpec::Klsm(4096),
     ];
+    let mut tracefile = args.trace.as_ref().map(|_| TraceFile::new());
     let mut results: Vec<ThroughputResult> = Vec::new();
     for spec in specs {
         eprintln!("running {} ({} threads)...", spec.name(), args.threads);
+        if tracefile.is_some() {
+            trace::start(trace::DEFAULT_CAPACITY);
+        }
         let r = run_throughput(spec, &cfg);
+        if let Some(tf) = tracefile.as_mut() {
+            tf.push_cell(
+                &format!("lsm_kernels {} t{}", r.queue, args.threads),
+                args.threads,
+                trace::stop(),
+            );
+        }
         eprintln!("  {:.3} MOps/s", r.mops());
         results.push(r);
+    }
+    if let (Some(path), Some(tf)) = (&args.trace, &tracefile) {
+        if let Err(e) = tf.write(path) {
+            eprintln!("lsm_kernels: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote trace {path} (dropped records: {})",
+            tf.dropped_total()
+        );
     }
 
     let body = results
@@ -333,7 +361,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"size\": {},\n  \"ops\": {},\n  \"seed\": {},\n  \
+        "{{\n  \"meta\": {},\n  \"size\": {},\n  \"ops\": {},\n  \"seed\": {},\n  \
          \"steady_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
          \"kernels_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
          \"sawtooth_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
@@ -345,6 +373,7 @@ fn main() {
          \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
          \"pool_recycled_bytes\": {},\n  \"threads\": {},\n  \"prefill\": {},\n  \
          \"duration_ms\": {},\n  \"reps\": {},\n  \"concurrent\": [\n{body}\n  ]\n}}\n",
+        run_metadata_json(args.threads),
         args.size,
         args.ops,
         args.seed,

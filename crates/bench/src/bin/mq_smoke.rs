@@ -145,10 +145,11 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"experiment\": \"fig4a\",\n  \"threads\": {},\n  \"prefill\": {},\n  \
+        "{{\n  \"meta\": {},\n  \"experiment\": \"fig4a\",\n  \"threads\": {},\n  \"prefill\": {},\n  \
          \"duration_ms\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"results\": [\n{body}\n  ],\n  \
          \"plain_mops\": {:.4},\n  \"best_sticky\": \"{}\",\n  \"best_sticky_mops\": {:.4},\n  \
          \"best_sticky_speedup\": {:.3}\n}}\n",
+        pq_bench::run_metadata_json(args.threads),
         args.threads,
         args.prefill,
         args.duration_ms,

@@ -6,8 +6,8 @@
 //! ```
 
 use harness::{experiments, run_quality, QualityResult, QueueSpec};
-use pq_bench::{events_since, format_quality_table, MetricsReport};
-use pq_traits::telemetry;
+use pq_bench::{events_since, format_quality_table, MetricsReport, TraceFile};
+use pq_traits::{telemetry, trace};
 use workloads::config::StopCondition;
 use workloads::BenchConfig;
 
@@ -19,6 +19,7 @@ struct Args {
     ops_per_thread: u64,
     seed: u64,
     metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
     let mut ops_per_thread = 20_000u64;
     let mut seed = 0x5EEDu64;
     let mut metrics: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,17 +67,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--metrics" => metrics = Some(take(&mut i)?),
+            "--trace" => trace_path = Some(take(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "usage: quality [--experiment <id>]... [--all] [--threads 2,4,8] \
                      [--queues klsm128,...] [--prefill N] [--ops-per-thread N] [--seed N] \
-                     [--metrics out.json]"
+                     [--metrics out.json] [--trace out.trace.json]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
+    }
+    if trace_path.is_some() && !trace::compiled() {
+        return Err("--trace requires building with --features trace".to_owned());
     }
     Ok(Args {
         experiments: experiments_sel
@@ -86,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         ops_per_thread,
         seed,
         metrics,
+        trace: trace_path,
     })
 }
 
@@ -98,6 +105,7 @@ fn main() {
         }
     };
     let mut report = args.metrics.as_ref().map(|_| MetricsReport::new("quality"));
+    let mut tracefile = args.trace.as_ref().map(|_| TraceFile::new());
     for exp in &args.experiments {
         let mut rows: Vec<Vec<QualityResult>> = Vec::new();
         for &spec in &args.queues {
@@ -113,7 +121,13 @@ fn main() {
                     seed: args.seed,
                 };
                 let before = telemetry::snapshot();
+                if tracefile.is_some() {
+                    trace::start(trace::DEFAULT_CAPACITY);
+                }
                 let r = run_quality(spec, &cfg);
+                if let Some(tf) = tracefile.as_mut() {
+                    tf.push_cell(&format!("{} {} t{t}", exp.id, r.queue), t, trace::stop());
+                }
                 if let Some(report) = report.as_mut() {
                     report.push_quality_cell(exp.id, &r, &events_since(&before));
                 }
@@ -152,6 +166,16 @@ fn main() {
             "wrote {path} ({} cells, telemetry {})",
             report.len(),
             if telemetry::enabled() { "on" } else { "off" }
+        );
+    }
+    if let (Some(path), Some(tf)) = (&args.trace, &tracefile) {
+        if let Err(e) = tf.write(path) {
+            eprintln!("quality: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote trace {path} (dropped records: {})",
+            tf.dropped_total()
         );
     }
 }

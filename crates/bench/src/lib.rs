@@ -7,8 +7,10 @@ pub mod bench_util;
 pub mod metrics;
 pub mod plot;
 pub mod report;
+pub mod trace_export;
 
 pub use bench_util::throughput_duration;
-pub use metrics::{events_since, MetricsReport};
+pub use metrics::{events_since, run_metadata_json, MetricsReport};
+pub use trace_export::TraceFile;
 pub use plot::{render_chart, render_csv, Series};
 pub use report::{format_quality_table, format_throughput_table};

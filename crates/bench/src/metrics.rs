@@ -23,6 +23,27 @@
 
 use harness::{Histogram, LatencyResult, QualityResult, ThroughputResult};
 use pq_traits::telemetry::{self, EventCounts};
+use pq_traits::trace;
+
+/// Version of the exported JSON layout, bumped on breaking shape
+/// changes. Version 2 added the `meta` block itself.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The self-describing `meta` object every JSON export embeds: schema
+/// version, compiled feature switches, worker thread count (0 when the
+/// export spans several thread counts and the per-cell value governs),
+/// and host OS/arch, so a BENCH_*.json can be interpreted long after
+/// the run that produced it.
+pub fn run_metadata_json(threads: usize) -> String {
+    format!(
+        "{{\"schema_version\": {SCHEMA_VERSION}, \"os\": \"{}\", \"arch\": \"{}\", \
+         \"threads\": {threads}, \"features\": {{\"telemetry\": {}, \"trace\": {}}}}}",
+        json_escape(std::env::consts::OS),
+        json_escape(std::env::consts::ARCH),
+        telemetry::enabled(),
+        trace::compiled(),
+    )
+}
 
 /// Escape a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
@@ -98,6 +119,7 @@ pub struct MetricsReport {
     tool: String,
     cells: Vec<String>,
     warnings: Vec<String>,
+    max_threads: usize,
 }
 
 impl MetricsReport {
@@ -107,6 +129,7 @@ impl MetricsReport {
             tool: tool.to_owned(),
             cells: Vec::new(),
             warnings: Vec::new(),
+            max_threads: 0,
         }
     }
 
@@ -135,6 +158,7 @@ impl MetricsReport {
         r: &ThroughputResult,
         events: &EventCounts,
     ) {
+        self.max_threads = self.max_threads.max(r.threads);
         if let Some(w) = r.steady_state_warning() {
             self.push_warning(&w);
         }
@@ -176,6 +200,7 @@ impl MetricsReport {
         r: &QualityResult,
         events: &EventCounts,
     ) {
+        self.max_threads = self.max_threads.max(r.threads);
         self.cells.push(format!(
             "{{\"kind\": \"quality\", \"experiment\": \"{}\", \"queue\": \"{}\", \
              \"threads\": {}, \"rank_mean\": {}, \"rank_sd\": {}, \"rank_p50\": {}, \
@@ -202,6 +227,7 @@ impl MetricsReport {
         r: &LatencyResult,
         events: &EventCounts,
     ) {
+        self.max_threads = self.max_threads.max(r.threads);
         self.cells.push(format!(
             "{{\"kind\": \"latency\", \"experiment\": \"{}\", \"queue\": \"{}\", \
              \"threads\": {}, \"insert\": {}, \"delete\": {}, \"events\": {}}}",
@@ -219,6 +245,7 @@ impl MetricsReport {
     /// recorded while the cell ran. Flags a warning per violating cell
     /// so report consumers can't miss a red matrix entry.
     pub fn push_checker_cell(&mut self, r: &checker::CheckReport, events: &EventCounts) {
+        self.max_threads = self.max_threads.max(r.threads);
         if !r.is_clean() {
             self.push_warning(&format!(
                 "checker violations in {} ({} t{}): {}",
@@ -253,10 +280,12 @@ impl MetricsReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"tool\": \"{}\",\n  \"telemetry_enabled\": {},\n  \"cells\": [\n{cells}\n  ],\n  \
+            "{{\n  \"tool\": \"{}\",\n  \"telemetry_enabled\": {},\n  \"meta\": {},\n  \
+             \"cells\": [\n{cells}\n  ],\n  \
              \"warnings\": [\n{warnings}\n  ]\n}}\n",
             json_escape(&self.tool),
             telemetry::enabled(),
+            run_metadata_json(self.max_threads),
         )
     }
 
@@ -452,6 +481,28 @@ mod tests {
         assert!(json.contains("\"kind\": \"quality\""));
         assert!(json.contains("\"rank_p99\": 30"));
         assert!(json.contains("\"deletions\": 3"));
+    }
+
+    #[test]
+    fn meta_block_is_self_describing() {
+        let mut m = MetricsReport::new("figures");
+        m.push_throughput_cell(
+            "fig4a",
+            &throughput_result(vec![vec![100, 100]]),
+            &EventCounts::default(),
+        );
+        let json = m.to_json();
+        assert_balanced(&json);
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
+        assert!(json.contains(&format!("\"arch\": \"{}\"", std::env::consts::ARCH)));
+        // The meta thread count is the max over cells (2 here).
+        assert!(json.contains("\"threads\": 2,"), "meta threads missing: {json}");
+        assert!(json.contains(&format!("\"telemetry\": {}", telemetry::enabled())));
+        assert!(json.contains(&format!("\"trace\": {}", trace::compiled())));
+        // The standalone helper matches what the report embeds.
+        assert_balanced(&run_metadata_json(8));
+        assert!(run_metadata_json(8).contains("\"threads\": 8"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
+use pq_traits::trace::{self, PhaseKind, SpanOp};
 use pq_traits::{ConcurrentPq, PqHandle};
 use workloads::config::StopCondition;
 use workloads::{BenchConfig, KeyGen, OpKind, OpStream, ThreadRole};
@@ -131,19 +132,35 @@ fn measure<Q: ConcurrentPq>(
                 let mut del = Histogram::new();
                 barrier.wait();
                 barrier.wait();
+                // Flight recorder: this harness already timestamps every
+                // operation, so (unlike the throughput loop) spans are
+                // recorded per op, reusing the existing clock reads plus
+                // one `elapsed` re-read per traced op.
+                let tracing = trace::active();
+                let anchor = trace::Anchor::at(Instant::now());
                 for _ in 0..ops_per_thread {
                     match ops.next_op() {
                         OpKind::Insert => {
                             let key = keys.next_key();
                             let started = Instant::now();
                             h.insert(key, next_value);
-                            ins.record(started.elapsed().as_nanos() as u64);
+                            let dur = started.elapsed().as_nanos() as u64;
+                            ins.record(dur);
+                            if tracing {
+                                let begin = anchor.ns_at(started);
+                                trace::span(SpanOp::Insert, begin, begin + dur, 1);
+                            }
                             next_value += 1;
                         }
                         OpKind::DeleteMin => {
                             let started = Instant::now();
                             let item = h.delete_min();
-                            del.record(started.elapsed().as_nanos() as u64);
+                            let dur = started.elapsed().as_nanos() as u64;
+                            del.record(dur);
+                            if tracing {
+                                let begin = anchor.ns_at(started);
+                                trace::span(SpanOp::DeleteMin, begin, begin + dur, 1);
+                            }
                             if let Some(item) = item {
                                 keys.observe_delete(item.key);
                             }
@@ -151,15 +168,26 @@ fn measure<Q: ConcurrentPq>(
                     }
                 }
                 // Commit buffered operations outside the measured ops.
+                let flush_begin = if tracing {
+                    anchor.ns_at(Instant::now())
+                } else {
+                    0
+                };
                 h.flush();
+                if tracing {
+                    trace::span(SpanOp::Flush, flush_begin, anchor.ns_at(Instant::now()), 1);
+                }
                 let mut guard = merged.lock().unwrap();
                 guard.0.merge(&ins);
                 guard.1.merge(&del);
             });
         }
+        trace::phase(PhaseKind::Prefill, 0);
         barrier.wait();
+        trace::phase(PhaseKind::Measure, 0);
         barrier.wait();
     });
+    trace::phase(PhaseKind::RepEnd, 0);
 
     merged.into_inner().unwrap()
 }

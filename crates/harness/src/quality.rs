@@ -18,7 +18,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
+use pq_traits::trace::{self, PhaseKind, SpanOp};
 use pq_traits::{ConcurrentPq, Item, Key, PqHandle, Value};
 use seqpq::{Fenwick, OsTreap};
 use workloads::config::StopCondition;
@@ -127,7 +129,22 @@ fn record_log<Q: ConcurrentPq>(
                 let mut log = Vec::with_capacity(ops_per_thread as usize);
                 barrier.wait();
                 barrier.wait();
+                // Flight recorder: batch-granularity spans (one clock
+                // read per 64 logged ops), only while a trace runs.
+                let tracing = trace::active();
+                let anchor = trace::Anchor::at(Instant::now());
+                let mut span_begin = anchor.base_ns();
+                let mut span_ops = 0u32;
                 for _ in 0..ops_per_thread {
+                    if tracing {
+                        span_ops += 1;
+                        if span_ops == 64 {
+                            let end = anchor.ns_at(Instant::now());
+                            trace::span(SpanOp::OpBatch, span_begin, end, span_ops);
+                            span_begin = end;
+                            span_ops = 0;
+                        }
+                    }
                     match ops.next_op() {
                         OpKind::Insert => {
                             let item = Item::new(keys.next_key(), next_value);
@@ -153,17 +170,27 @@ fn record_log<Q: ConcurrentPq>(
                         }
                     }
                 }
+                if tracing && span_ops > 0 {
+                    trace::span(SpanOp::OpBatch, span_begin, anchor.ns_at(Instant::now()), span_ops);
+                }
                 // Commit buffered operations before the log is sealed:
                 // buffered inserts become visible (they are already
                 // logged), and deletion-buffered items return to the
                 // queue (they were never logged as deleted).
+                let flush_begin = if tracing { anchor.ns_at(Instant::now()) } else { 0 };
                 h.flush();
+                if tracing {
+                    trace::span(SpanOp::Flush, flush_begin, anchor.ns_at(Instant::now()), 1);
+                }
                 logs.lock().unwrap().push(log);
             });
         }
+        trace::phase(PhaseKind::Prefill, 0);
         barrier.wait();
+        trace::phase(PhaseKind::Measure, 0);
         barrier.wait();
     });
+    trace::phase(PhaseKind::RepEnd, 0);
 
     let mut merged: Vec<LogEntry> = logs.into_inner().unwrap().into_iter().flatten().collect();
     merged.sort_unstable_by_key(|e| e.ts);

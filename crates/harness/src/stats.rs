@@ -457,6 +457,103 @@ mod tests {
         assert_eq!(h.nonzero_buckets().count(), 0);
     }
 
+    /// Wide-magnitude `u64` strategy: a uniform mantissa shifted by a
+    /// uniform amount, so cases hit the exact sub-32 region, every
+    /// octave in between, and the top of the range — the places where
+    /// bucket boundary arithmetic can go wrong.
+    fn wide_u64() -> impl proptest::strategy::Strategy<Value = u64> {
+        use proptest::strategy::Strategy;
+        (0u64..u64::MAX, 0u32..64).prop_map(|(m, s)| m >> s)
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_bucket_boundaries_contain_and_order_values(
+            vs in proptest::collection::vec(wide_u64(), 1..200),
+        ) {
+            for &v in &vs {
+                let i = Histogram::bucket_index(v);
+                proptest::prop_assert!(i < NUM_BUCKETS, "index {} out of range for {}", i, v);
+                let lo = Histogram::bucket_lower(i);
+                let w = Histogram::bucket_width(i);
+                proptest::prop_assert!(
+                    lo <= v && v - lo < w,
+                    "value {} outside bucket [{}, {}+{})", v, lo, lo, w
+                );
+                // The reported representative must stay inside the
+                // bucket, or percentiles could invent values no sample
+                // ever had.
+                let mid = Histogram::bucket_value(i);
+                proptest::prop_assert!(mid >= lo && mid - lo < w);
+            }
+            let mut sorted = vs.clone();
+            sorted.sort_unstable();
+            for pair in sorted.windows(2) {
+                proptest::prop_assert!(
+                    Histogram::bucket_index(pair[0]) <= Histogram::bucket_index(pair[1]),
+                    "bucket order inverts between {} and {}", pair[0], pair[1]
+                );
+            }
+        }
+
+        #[test]
+        fn prop_record_then_percentile_never_inverts_ordering(
+            vs in proptest::collection::vec(wide_u64(), 1..300),
+            ps in proptest::collection::vec(0u32..1001, 2..20),
+        ) {
+            let mut h = Histogram::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            let mut ps = ps.clone();
+            ps.sort_unstable();
+            let mut prev = 0u64;
+            for &p in &ps {
+                let got = h.percentile(f64::from(p) / 1000.0);
+                proptest::prop_assert!(
+                    got >= prev,
+                    "percentile inverts at p={}: {} < {}", p, got, prev
+                );
+                proptest::prop_assert!(
+                    got >= h.min() && got <= h.max(),
+                    "percentile {} escapes [{}, {}]", got, h.min(), h.max()
+                );
+                prev = got;
+            }
+        }
+
+        #[test]
+        fn prop_merge_equals_recording_the_union(
+            a in proptest::collection::vec(wide_u64(), 0..200),
+            b in proptest::collection::vec(wide_u64(), 0..200),
+        ) {
+            let mut ha = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+            }
+            let mut hb = Histogram::new();
+            for &v in &b {
+                hb.record(v);
+            }
+            ha.merge(&hb);
+            let mut hu = Histogram::new();
+            for &v in a.iter().chain(b.iter()) {
+                hu.record(v);
+            }
+            proptest::prop_assert_eq!(ha.count(), hu.count());
+            proptest::prop_assert_eq!(ha.min(), hu.min());
+            proptest::prop_assert_eq!(ha.max(), hu.max());
+            proptest::prop_assert_eq!(ha.mean(), hu.mean());
+            proptest::prop_assert_eq!(
+                ha.nonzero_buckets().collect::<Vec<_>>(),
+                hu.nonzero_buckets().collect::<Vec<_>>()
+            );
+            for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                proptest::prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+            }
+        }
+    }
+
     #[test]
     fn histogram_record_n_equals_repeated_record() {
         let mut a = Histogram::new();

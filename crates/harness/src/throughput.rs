@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
+use pq_traits::trace::{self, PhaseKind, SpanOp};
 use pq_traits::{ConcurrentPq, PqHandle};
 use workloads::config::StopCondition;
 use workloads::{BenchConfig, KeyGen, OpKind, OpStream, ThreadRole};
@@ -260,6 +261,13 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> RepOutcome
                 barrier.wait(); // prefill complete
                 barrier.wait(); // start signal
                 let started = Instant::now();
+                // Flight recorder: one OpBatch span per 64-op batch,
+                // reusing the per-batch `started.elapsed()` read the
+                // tick sampler already pays for — no extra clock reads
+                // in the hot loop (and nothing at all while inactive).
+                let tracing = trace::active();
+                let anchor = trace::Anchor::at(started);
+                let mut span_begin = anchor.base_ns();
                 let mut count = 0u64;
                 // Cumulative op count at each elapsed tick boundary.
                 let mut ticks: Vec<u64> = Vec::new();
@@ -271,6 +279,11 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> RepOutcome
                         }
                         count += 64;
                         let elapsed = started.elapsed();
+                        if tracing {
+                            let end = anchor.base_ns() + elapsed.as_nanos() as u64;
+                            trace::span(SpanOp::OpBatch, span_begin, end, 64);
+                            span_begin = end;
+                        }
                         while elapsed >= next_tick {
                             ticks.push(count);
                             next_tick += tick;
@@ -287,6 +300,11 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> RepOutcome
                             }
                             count += batch;
                             let elapsed = started.elapsed();
+                            if tracing {
+                                let end = anchor.base_ns() + elapsed.as_nanos() as u64;
+                                trace::span(SpanOp::OpBatch, span_begin, end, batch as u32);
+                                span_begin = end;
+                            }
                             while elapsed >= next_tick {
                                 ticks.push(count);
                                 next_tick += tick;
@@ -299,15 +317,26 @@ fn run_once<Q: ConcurrentPq>(q: &Q, cfg: &BenchConfig, rep: usize) -> RepOutcome
                 // window so buffered queues neither lose items nor get
                 // credited for uncommitted work.
                 h.flush();
+                if tracing {
+                    trace::span(
+                        SpanOp::Flush,
+                        anchor.base_ns() + ns,
+                        anchor.ns_at(Instant::now()),
+                        1,
+                    );
+                }
                 total_ops.fetch_add(count, Ordering::Relaxed);
                 thread_ops.store(count, Ordering::Relaxed);
                 elapsed_ns.fetch_max(ns, Ordering::Relaxed);
                 *tick_series[t].lock().unwrap() = ticks;
             });
         }
+        trace::phase(PhaseKind::Prefill, rep as u32);
         barrier.wait(); // wait for prefill
+        trace::phase(PhaseKind::Measure, rep as u32);
         barrier.wait(); // release the workers
     });
+    trace::phase(PhaseKind::RepEnd, rep as u32);
 
     let ops = total_ops.load(Ordering::Relaxed) as f64;
     let secs = elapsed_ns.load(Ordering::Relaxed) as f64 / 1e9;

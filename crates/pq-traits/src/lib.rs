@@ -30,6 +30,7 @@ pub mod instrument;
 pub mod item;
 pub mod seed;
 pub mod telemetry;
+pub mod trace;
 
 pub use history::{Op, OpRecord, Recorded, RecordedHandle};
 pub use instrument::{Instrumented, OpCounts};

@@ -24,9 +24,15 @@
 //! before paying for anything (e.g. pre-computing a count to pass to
 //! [`record_n`]).
 //!
-//! Counters are process-global, not per-queue: the harness resets them
-//! around each benchmark cell ([`reset`] … run … [`snapshot`]), which is
-//! exactly the granularity the metrics export needs.
+//! Counters are process-global and **monotone** — there is deliberately
+//! no reset. A reset would be a process-wide write racing every other
+//! concurrently running cell or test (the parallel `cargo test` runner
+//! makes that the common case, not the exception). Instead, consumers
+//! take a [`snapshot`] before a cell and attribute with
+//! [`EventCounts::since`] afterwards; deltas compose soundly no matter
+//! how many cells run in parallel, as long as each cell's own events
+//! land between its two snapshots (true when the cell joins its worker
+//! threads before the closing snapshot).
 
 use core::sync::atomic::AtomicU64;
 
@@ -193,15 +199,18 @@ pub fn record(event: Event) {
 /// Record `n` occurrences of `event` (bulk counters such as
 /// [`Event::DlsmSpyItems`]).
 ///
-/// Also the hook point for the schedule-perturbation shim: every
-/// recorded event is forwarded to [`crate::chaos::on_event`], which
-/// costs one relaxed load while chaos is disabled (the default) and
-/// may inject a yield or bounded spin while a stress run has it on.
-/// Chaos is independent of the `telemetry` feature — the events mark
-/// the interesting slow-path transitions either way.
+/// Also the hook point for the schedule-perturbation shim and the
+/// flight recorder: every recorded event is forwarded to
+/// [`crate::chaos::on_event`] (one relaxed load while chaos is
+/// disabled; may inject a yield or bounded spin during a stress run)
+/// and to [`crate::trace::on_event`] (nothing without the `trace`
+/// feature; one relaxed load while no trace is recording). Both hooks
+/// are independent of the `telemetry` feature — the events mark the
+/// interesting slow-path transitions either way.
 #[inline]
 pub fn record_n(event: Event, n: u64) {
     crate::chaos::on_event(event);
+    crate::trace::on_event(event, n);
     imp::record_n(event, n);
 }
 
@@ -217,21 +226,22 @@ pub fn record_quiet(event: Event) {
     record_n_quiet(event, 1);
 }
 
-/// As [`record_quiet`], recording `n` occurrences.
+/// As [`record_quiet`], recording `n` occurrences. Quiet only with
+/// respect to chaos: the flight recorder still sees the event, since a
+/// timeline without the sequential-path events (pool hits, kernel tier
+/// selections) would misattribute their cost to neighboring spans.
 #[inline]
 pub fn record_n_quiet(event: Event, n: u64) {
+    crate::trace::on_event(event, n);
     imp::record_n(event, n);
 }
 
 /// Sum every thread's shard into one [`EventCounts`].
+///
+/// Counters are never reset; bracket a region with two snapshots and
+/// diff them with [`EventCounts::since`] to attribute events to it.
 pub fn snapshot() -> EventCounts {
     imp::snapshot()
-}
-
-/// Zero all shards (including those of exited threads). The harness
-/// calls this before each benchmark cell.
-pub fn reset() {
-    imp::reset();
 }
 
 /// One thread's counter shard, aligned to a cache line so concurrent
@@ -294,13 +304,6 @@ mod imp {
         out
     }
 
-    pub fn reset() {
-        for shard in registry().lock().unwrap().iter() {
-            for c in &shard.counts {
-                c.store(0, Ordering::Relaxed);
-            }
-        }
-    }
 }
 
 #[cfg(not(feature = "telemetry"))]
@@ -313,8 +316,6 @@ mod imp {
     pub fn snapshot() -> EventCounts {
         EventCounts::default()
     }
-
-    pub fn reset() {}
 }
 
 #[cfg(test)]
@@ -377,6 +378,5 @@ mod tests {
         record_n(Event::MqEmptySample, 100);
         assert!(snapshot().is_zero());
         assert!(!enabled());
-        reset();
     }
 }

@@ -4,14 +4,19 @@
 # BENCH_multiqueue.json (see crates/bench/src/bin/mq_smoke.rs) at the
 # repository root and prints the best sticky config's speedup.
 #
-# Also runs two observability checks:
+# Also runs three observability checks:
 #   * instr_overhead — asserts the Instrumented wrapper costs less than
 #     INSTR_MAX_OVERHEAD_PCT (default 5) percent of plain throughput,
 #     guarding the per-handle sharded-counter design against regressions
-#     that reintroduce false sharing;
+#     that reintroduce false sharing; a second invocation built with
+#     --features trace additionally gates an actively-recording flight
+#     recorder at TRACE_MAX_OVERHEAD_PCT (default 5) percent;
 #   * figures --metrics — produces metrics_smoke.json, the structured
 #     per-cell export (counters, time-sliced throughput, latency
-#     histograms) that CI uploads as an artifact.
+#     histograms) that CI uploads as an artifact;
+#   * figures --trace — produces trace_smoke.json, a Chrome-trace-event
+#     flight-recorder export (one track per thread, loadable in
+#     Perfetto) that CI also uploads as an artifact.
 #
 # Usage: scripts/bench_smoke.sh [THREADS] [DURATION_MS]
 set -euo pipefail
@@ -20,6 +25,7 @@ cd "$(dirname "$0")/.."
 THREADS="${1:-4}"
 DURATION_MS="${2:-1000}"
 INSTR_MAX_OVERHEAD_PCT="${INSTR_MAX_OVERHEAD_PCT:-5}"
+TRACE_MAX_OVERHEAD_PCT="${TRACE_MAX_OVERHEAD_PCT:-5}"
 # Floor for the pooled-LSM kernel speedup gate (geomean of the steady
 # and sawtooth regimes vs. the frozen legacy kernels). The acceptance
 # target on quiet hardware is 1.3; default 1.0 so noisy shared runners
@@ -57,6 +63,18 @@ cargo run -p pq-bench --release --offline --bin instr_overhead -- \
     --duration-ms "$DURATION_MS" \
     --max-overhead-pct "$INSTR_MAX_OVERHEAD_PCT"
 
+echo "== flight-recorder overhead (trace feature, limit ${TRACE_MAX_OVERHEAD_PCT}%) =="
+# Same A/B binary built with the trace feature: adds an arm that runs
+# with the flight recorder actively capturing batch spans and gates it
+# at TRACE_MAX_OVERHEAD_PCT percent of plain throughput, so the
+# batch-granularity span design (no extra clock reads in the hot loop)
+# cannot silently regress.
+cargo run -p pq-bench --release --offline --features trace --bin instr_overhead -- \
+    --threads "$THREADS" \
+    --duration-ms "$DURATION_MS" \
+    --max-overhead-pct "$INSTR_MAX_OVERHEAD_PCT" \
+    --max-trace-overhead-pct "$TRACE_MAX_OVERHEAD_PCT"
+
 echo "== semantic checker smoke (one chaos cell + mutation tests) =="
 # One strict and one relaxed queue through the recorded checker under
 # seeded schedule perturbation, plus the three broken-wrapper mutation
@@ -78,3 +96,18 @@ cargo run -p pq-bench --release --offline --features telemetry --bin figures -- 
     --duration-ms 250 \
     --reps 2 \
     --metrics metrics_smoke.json >/dev/null
+
+echo "== flight-recorder export smoke (trace on) =="
+# One short traced cell per queue at THREADS threads; writes
+# trace_smoke.json, a Chrome-trace-event file loadable in Perfetto with
+# one track per worker thread (EXPERIMENTS.md "Flight-recorder
+# tracing"). Dropped-record counts are printed by the binary and
+# embedded in the export, so truncation is never silent.
+cargo run -p pq-bench --release --offline --features trace --bin figures -- \
+    --experiment fig4a \
+    --queues multiqueue,klsm256 \
+    --threads "$THREADS" \
+    --prefill 20000 \
+    --duration-ms 250 \
+    --reps 1 \
+    --trace trace_smoke.json >/dev/null

@@ -174,6 +174,51 @@ mod events {
         assert!(delta.get(Event::MqEmptySample) >= 1);
     }
 
+    /// Regression test for the old `telemetry::reset()` race: resetting
+    /// the process-global counters mid-run destroyed other cells'
+    /// counts when the test runner (or a benchmark binary) ran cells in
+    /// parallel. The counters are now monotone — there is no reset —
+    /// and every consumer brackets its cell with `snapshot()` +
+    /// `since()`. Under that discipline a cell's delta can only
+    /// over-count (concurrent cells add events), never under-count, so
+    /// each thread here must observe at least its own contribution no
+    /// matter how the cells interleave.
+    #[test]
+    fn delta_snapshots_are_sound_under_parallel_cells() {
+        const THREADS: usize = 4;
+        const EMPTY_DELETES: u64 = 64;
+        let before_all = telemetry::snapshot();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let before = telemetry::snapshot();
+                    // Each cell owns a private empty MultiQueue; every
+                    // delete_min on it records at least one
+                    // MqEmptySample, so the cell's own contribution has
+                    // a known floor.
+                    let q = Mq::new(2, 1);
+                    let mut h = q.handle();
+                    for _ in 0..EMPTY_DELETES {
+                        assert!(h.delete_min().is_none());
+                    }
+                    let delta = telemetry::snapshot().since(&before);
+                    assert!(
+                        delta.get(Event::MqEmptySample) >= EMPTY_DELETES,
+                        "cell under-counted its own empty samples: {} < {EMPTY_DELETES}",
+                        delta.get(Event::MqEmptySample)
+                    );
+                });
+            }
+        });
+        let delta_all = telemetry::snapshot().since(&before_all);
+        assert!(
+            delta_all.get(Event::MqEmptySample) >= THREADS as u64 * EMPTY_DELETES,
+            "global delta lost events from parallel cells: {} < {}",
+            delta_all.get(Event::MqEmptySample),
+            THREADS as u64 * EMPTY_DELETES
+        );
+    }
+
     #[test]
     fn skiplist_contention_records_cas_retries() {
         // CAS retries need a real race: hammer delete_min/insert pairs

@@ -1,0 +1,134 @@
+//! End-to-end flight-recorder test: run real harness cells with the
+//! trace feature active and check the recorder captures what the
+//! acceptance criteria demand — one timeline per worker thread, op
+//! spans, phase markers, and a Chrome-trace export with one named track
+//! per thread. With the feature off, the same API must be callable and
+//! record nothing.
+
+use harness::{run_throughput, QueueSpec};
+use pq_bench::TraceFile;
+use pq_traits::trace;
+use workloads::config::StopCondition;
+use workloads::{BenchConfig, KeyDistribution, Workload};
+
+fn cell_cfg(threads: usize) -> BenchConfig {
+    BenchConfig {
+        threads,
+        workload: Workload::Uniform,
+        key_dist: KeyDistribution::uniform(16),
+        prefill: 2_000,
+        stop: StopCondition::OpsPerThread(5_000),
+        reps: 1,
+        seed: 7,
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn trace_disabled_is_zero_cost_and_empty() {
+    assert!(!trace::compiled());
+    trace::start(trace::DEFAULT_CAPACITY);
+    assert!(!trace::active());
+    run_throughput(QueueSpec::parse("multiqueue").unwrap(), &cell_cfg(2));
+    let data = trace::stop();
+    assert!(data.is_empty());
+    assert_eq!(data.dropped_total(), 0);
+    // The exporter still produces a well-formed (empty) file.
+    let mut tf = TraceFile::new();
+    tf.push_cell("cell", 2, data);
+    assert!(tf.to_json().contains("\"traceEvents\""));
+}
+
+#[cfg(feature = "trace")]
+mod traced {
+    use super::*;
+    use pq_traits::trace::{PhaseKind, RecordData, SpanOp};
+
+    /// The acceptance-criterion cell: a 4-thread throughput run whose
+    /// export must contain one track per worker thread.
+    #[test]
+    fn four_thread_cell_yields_one_track_per_thread() {
+        const THREADS: usize = 4;
+        assert!(trace::compiled());
+        trace::start(trace::DEFAULT_CAPACITY);
+        assert!(trace::active());
+        let r = run_throughput(QueueSpec::parse("multiqueue").unwrap(), &cell_cfg(THREADS));
+        let data = trace::stop();
+        assert!(!trace::active());
+        assert_eq!(r.per_thread_ops.len(), THREADS);
+
+        // Every worker thread produced a timeline holding op spans; the
+        // coordinator produced the phase markers.
+        let span_timelines = data
+            .timelines
+            .iter()
+            .filter(|tl| {
+                tl.records
+                    .iter()
+                    .any(|rec| matches!(rec.data, RecordData::Span { .. }))
+            })
+            .count();
+        assert_eq!(span_timelines, THREADS, "one span timeline per worker");
+        let phases: Vec<PhaseKind> = data
+            .timelines
+            .iter()
+            .flat_map(|tl| tl.records.iter())
+            .filter_map(|rec| match rec.data {
+                RecordData::Phase { phase, .. } => Some(phase),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&PhaseKind::Prefill), "missing prefill marker");
+        assert!(phases.contains(&PhaseKind::Measure), "missing measure marker");
+        assert!(phases.contains(&PhaseKind::RepEnd), "missing rep-end marker");
+
+        // Worker spans account for every measured op: OpBatch spans
+        // carry the per-batch op counts, plus one flush span per worker.
+        let (mut batch_ops, mut flushes) = (0u64, 0usize);
+        for tl in &data.timelines {
+            for rec in &tl.records {
+                match rec.data {
+                    RecordData::Span {
+                        op: SpanOp::OpBatch,
+                        ops,
+                        ..
+                    } => batch_ops += u64::from(ops),
+                    RecordData::Span {
+                        op: SpanOp::Flush, ..
+                    } => flushes += 1,
+                    _ => {}
+                }
+            }
+        }
+        let total_ops: u64 = r.per_thread_ops.iter().sum();
+        assert_eq!(batch_ops, total_ops, "OpBatch spans must cover every op");
+        assert_eq!(flushes, THREADS, "one flush span per worker");
+
+        // The export names one track per timeline and stays loadable
+        // (traceEvents + attribution alongside).
+        let mut tf = TraceFile::new();
+        let timelines = data.timelines.len();
+        let dropped = data.dropped_total();
+        tf.push_cell("fig4a multiqueue t4", THREADS, data);
+        let json = tf.to_json();
+        assert!(pq_bench::trace_export::looks_like_chrome_trace(&json));
+        assert_eq!(
+            json.matches("\"name\":\"thread_name\"").count(),
+            timelines,
+            "one thread_name metadata record per timeline"
+        );
+        assert_eq!(tf.dropped_total(), dropped);
+
+        // Consecutive cells are isolated: a fresh start discards the
+        // first cell's records instead of leaking them. (Kept in the
+        // same #[test] as the cell above — the recorder is process
+        // global, so parallel test threads must not share it.)
+        trace::start(trace::DEFAULT_CAPACITY);
+        let second = trace::stop();
+        assert!(
+            second.is_empty(),
+            "second cell inherited {} stale records",
+            second.records_total()
+        );
+    }
+}
