@@ -105,6 +105,11 @@ fn full_registry() -> Vec<QueueSpec> {
         QueueSpec::Hunt,
         QueueSpec::Mound,
         QueueSpec::Cbpq,
+        QueueSpec::SprayBatch(16),
+        QueueSpec::FcGlobalLock(1),
+        QueueSpec::FcGlobalLock(16),
+        QueueSpec::FcMound(1),
+        QueueSpec::FcMound(16),
     ]
 }
 
@@ -114,7 +119,11 @@ fn full_registry() -> Vec<QueueSpec> {
 fn strict_drain(spec: &QueueSpec) -> bool {
     matches!(
         spec,
-        QueueSpec::Linden | QueueSpec::GlobalLock | QueueSpec::GlobalLockPairing
+        QueueSpec::Linden
+            | QueueSpec::GlobalLock
+            | QueueSpec::GlobalLockPairing
+            | QueueSpec::FcGlobalLock(1)
+            | QueueSpec::FcMound(1)
     )
 }
 

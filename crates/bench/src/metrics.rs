@@ -338,7 +338,7 @@ mod tests {
             threads: 2,
             per_rep_ops_per_sec: vec![1e6, 1.1e6],
             summary: Summary::of(&[1e6, 1.1e6]),
-            per_thread_ops: vec![500, 500],
+            last_rep_thread_ops: vec![500, 500],
             per_rep_thread_ops: vec![vec![500, 500], vec![550, 550]],
             tick_ms: 10.0,
             per_rep_ticks: ticks,

@@ -24,6 +24,10 @@ pub enum QueueSpec {
     Linden,
     /// SprayList.
     Spray,
+    /// SprayList with per-handle insert buffers of the given size,
+    /// committed as one sorted run through the skiplist's finger-descent
+    /// batch insert.
+    SprayBatch(usize),
     /// MultiQueue with the given `c` (sub-queues = c·P).
     MultiQueue(usize),
     /// Sticky, buffered MultiQueue with `(c, s, m)`: sub-queues = c·P,
@@ -43,6 +47,13 @@ pub enum QueueSpec {
     GlobalLockPairing,
     /// MultiQueue over pairing-heap sub-queues (substrate ablation).
     MultiQueuePairing(usize),
+    /// Flat-combining wrapper over the sequential binary heap (the
+    /// `globallock` substrate) with per-handle insert buffers of the
+    /// given size (1 = unbuffered, strict).
+    FcGlobalLock(usize),
+    /// Flat-combining wrapper over the mound with per-handle insert
+    /// buffers of the given size (1 = unbuffered, strict).
+    FcMound(usize),
 }
 
 impl QueueSpec {
@@ -78,6 +89,21 @@ impl QueueSpec {
             QueueSpec::Cbpq => "cbpq".to_owned(),
             QueueSpec::GlobalLockPairing => "globallock-pairing".to_owned(),
             QueueSpec::MultiQueuePairing(c) => format!("multiqueue-pairing-c{c}"),
+            QueueSpec::SprayBatch(m) => format!("spray-b{m}"),
+            QueueSpec::FcGlobalLock(m) => {
+                if *m <= 1 {
+                    "fc-globallock".to_owned()
+                } else {
+                    format!("fc-globallock-b{m}")
+                }
+            }
+            QueueSpec::FcMound(m) => {
+                if *m <= 1 {
+                    "fc-mound".to_owned()
+                } else {
+                    format!("fc-mound-b{m}")
+                }
+            }
         }
     }
 
@@ -94,6 +120,8 @@ impl QueueSpec {
             "mound" => Some(QueueSpec::Mound),
             "cbpq" => Some(QueueSpec::Cbpq),
             "globallock-pairing" => Some(QueueSpec::GlobalLockPairing),
+            "fc-globallock" => Some(QueueSpec::FcGlobalLock(1)),
+            "fc-mound" => Some(QueueSpec::FcMound(1)),
             _ => {
                 if let Some(rest) = s.strip_prefix("mq-sticky-") {
                     // "c{c}-s{s}-m{m}" or "s{s}-m{m}" (c defaults to 4).
@@ -112,6 +140,12 @@ impl QueueSpec {
                     Some(QueueSpec::MqSticky(c, sv, mv))
                 } else if let Some(m) = s.strip_prefix("dlsm-b") {
                     m.parse().ok().map(QueueSpec::DlsmBatch)
+                } else if let Some(m) = s.strip_prefix("spray-b") {
+                    m.parse().ok().map(QueueSpec::SprayBatch)
+                } else if let Some(m) = s.strip_prefix("fc-globallock-b") {
+                    m.parse().ok().map(QueueSpec::FcGlobalLock)
+                } else if let Some(m) = s.strip_prefix("fc-mound-b") {
+                    m.parse().ok().map(QueueSpec::FcMound)
                 } else if let Some(rest) = s.strip_prefix("klsm") {
                     // "klsm{k}" or "klsm{k}-b{m}".
                     if let Some((k, m)) = rest.split_once("-b") {
@@ -231,6 +265,14 @@ macro_rules! with_queue {
                 let $q = ::skiplist_pq::SprayList::new(threads);
                 $body
             }
+            $crate::QueueSpec::SprayBatch(m) => {
+                let $q = ::skiplist_pq::SprayList::with_batch(
+                    threads,
+                    ::pq_traits::seed::DEFAULT_QUEUE_SEED,
+                    m,
+                );
+                $body
+            }
             $crate::QueueSpec::MultiQueue(c) => {
                 let $q = ::multiqueue_pq::MultiQueue::<::seqpq::BinaryHeap>::new(c, threads);
                 $body
@@ -264,6 +306,18 @@ macro_rules! with_queue {
                 let $q = ::cbpq::Cbpq::new();
                 $body
             }
+            $crate::QueueSpec::FcGlobalLock(m) => {
+                let $q = ::lockedpq::fc_globallock(threads + 1, m);
+                $body
+            }
+            $crate::QueueSpec::FcMound(m) => {
+                let $q = ::lockedpq::fc_mound(
+                    threads + 1,
+                    m,
+                    ::pq_traits::seed::DEFAULT_QUEUE_SEED,
+                );
+                $body
+            }
         }
     }};
 }
@@ -294,6 +348,11 @@ mod tests {
             QueueSpec::Cbpq,
             QueueSpec::GlobalLockPairing,
             QueueSpec::MultiQueuePairing(4),
+            QueueSpec::SprayBatch(16),
+            QueueSpec::FcGlobalLock(1),
+            QueueSpec::FcGlobalLock(16),
+            QueueSpec::FcMound(1),
+            QueueSpec::FcMound(64),
         ];
         for s in specs {
             assert_eq!(QueueSpec::parse(&s.name()), Some(s), "{s:?}");
@@ -343,6 +402,11 @@ mod tests {
             QueueSpec::Cbpq,
             QueueSpec::GlobalLockPairing,
             QueueSpec::MultiQueuePairing(2),
+            QueueSpec::SprayBatch(8),
+            QueueSpec::FcGlobalLock(1),
+            QueueSpec::FcGlobalLock(8),
+            QueueSpec::FcMound(1),
+            QueueSpec::FcMound(8),
         ] {
             let drained = with_queue!(spec, 1, q => {
                 let mut h = q.handle();

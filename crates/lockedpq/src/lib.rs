@@ -13,13 +13,19 @@
 //! * [`mound::Mound`] — Liu and Spear's tree-of-sorted-lists design
 //!   (App. D), lock-based variant with optimistic binary-search
 //!   insertion.
+//! * [`flat_combining::FlatCombining`] — generic flat-combining wrapper
+//!   (Hendler et al., SPAA 2010): per-handle publication records and a
+//!   try-lock combiner that applies all pending ops in one critical
+//!   section; `fc-globallock` and `fc-mound` in the registry.
 
 #![warn(missing_docs)]
 
+pub mod flat_combining;
 pub mod global_lock;
 pub mod hunt;
 pub mod mound;
 
+pub use flat_combining::{fc_globallock, fc_mound, FlatCombining};
 pub use global_lock::GlobalLockPq;
 pub use hunt::HuntHeap;
 pub use mound::Mound;

@@ -94,7 +94,7 @@ impl Mound {
         path
     }
 
-    fn insert_impl(&self, key: Key, value: Value, rng: &mut SmallRng) {
+    pub(crate) fn insert_impl(&self, key: Key, value: Value, rng: &mut SmallRng) {
         let item = Item::new(key, value);
         let mut attempts = 0u32;
         loop {
@@ -157,7 +157,76 @@ impl Mound {
         }
     }
 
-    fn delete_min_impl(&self) -> Option<Item> {
+    /// Exclusive-access insert: same placement policy as
+    /// [`Self::insert_impl`], but with `&mut self` every head read is a
+    /// plain `get_mut` — no lock traffic and no optimistic validation
+    /// retries. Used by the flat-combining substrate, whose combiner
+    /// already serializes all access behind the queue's single lock.
+    pub(crate) fn insert_seq(&mut self, key: Key, value: Value, rng: &mut SmallRng) {
+        let item = Item::new(key, value);
+        let path = Self::random_path(rng);
+        if head_key(self.nodes[path[DEPTH - 1]].get_mut()) < key {
+            // The whole path sits below `key`: insert into the body of
+            // the leaf's list at its sorted position (the head is
+            // untouched, so the heap order on heads is preserved)
+            // instead of re-randomizing the path.
+            let list = self.nodes[path[DEPTH - 1]].get_mut();
+            let at = list
+                .iter()
+                .rposition(|it| it.key >= key)
+                .map_or(0, |p| p + 1);
+            let pos = at.min(list.len() - 1);
+            list.insert(pos, item);
+        } else {
+            // Heads are non-decreasing along the path, and nothing can
+            // move under exclusive access, so the binary search is
+            // exact: push at the shallowest node with head ≥ key.
+            let mut lo = 0usize;
+            let mut hi = DEPTH - 1;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if head_key(self.nodes[path[mid]].get_mut()) >= key {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            self.nodes[path[lo]].get_mut().push(item);
+        }
+        *self.len.get_mut() += 1;
+    }
+
+    /// Exclusive-access delete-min: pop the root head, then restore the
+    /// heap order on heads by swapping whole nodes down the smaller-child
+    /// spine — [`Self::moundify`] without the hand-over-hand locking.
+    pub(crate) fn delete_min_seq(&mut self) -> Option<Item> {
+        let min = self.nodes[0].get_mut().pop()?;
+        *self.len.get_mut() -= 1;
+        let mut idx = 0usize;
+        loop {
+            let l = 2 * idx + 1;
+            let r = l + 1;
+            if l >= NODES {
+                break;
+            }
+            let lk = head_key(self.nodes[l].get_mut());
+            let rk = if r < NODES {
+                head_key(self.nodes[r].get_mut())
+            } else {
+                Key::MAX
+            };
+            let child = if rk < lk { r } else { l };
+            if lk.min(rk) < head_key(self.nodes[idx].get_mut()) {
+                self.nodes.swap(idx, child);
+                idx = child;
+            } else {
+                break;
+            }
+        }
+        Some(min)
+    }
+
+    pub(crate) fn delete_min_impl(&self) -> Option<Item> {
         let mut root = self.nodes[0].lock();
         let min = root.pop();
         if min.is_some() {
@@ -356,6 +425,26 @@ mod tests {
             }
         }
         assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn seq_paths_match_model() {
+        let mut m = Mound::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut model = std::collections::BinaryHeap::new();
+        for i in 0..2000u64 {
+            let k = (i * 2654435761) % 512;
+            if i % 3 == 2 {
+                let got = m.delete_min_seq().map(|it| it.key);
+                let expect = model.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, expect);
+            } else {
+                m.insert_seq(k, i, &mut rng);
+                model.push(std::cmp::Reverse(k));
+            }
+        }
+        assert!(m.check_invariants());
+        assert_eq!(m.len_hint(), model.len());
     }
 
     #[test]

@@ -93,11 +93,20 @@ pub enum Event {
     /// LSM kernels: a drain ran through the tier-3 k-way loser tree
     /// (one `take_all_sorted` pass over ≥ 2 blocks).
     LsmKernelLoserTreePass,
+    /// Flat combining: a thread won the combiner lock (`try_lock`
+    /// succeeded) and entered a combining critical section.
+    FcLockAcquire,
+    /// Flat combining: one scan pass over the publication list that
+    /// applied at least one pending operation.
+    FcCombineRound,
+    /// Flat combining: number of published operations applied by
+    /// combiners on behalf of any thread (recorded with [`record_n`]).
+    FcOpsCombined,
 }
 
 impl Event {
     /// Every event, in stable export order.
-    pub const ALL: [Event; 17] = [
+    pub const ALL: [Event; 20] = [
         Event::SkiplistFindRestart,
         Event::SkiplistCasRetry,
         Event::DlsmSpyAttempt,
@@ -115,6 +124,9 @@ impl Event {
         Event::LsmKernelBitonicHit,
         Event::LsmKernelBidiHit,
         Event::LsmKernelLoserTreePass,
+        Event::FcLockAcquire,
+        Event::FcCombineRound,
+        Event::FcOpsCombined,
     ];
 
     /// Number of distinct events.
@@ -140,6 +152,9 @@ impl Event {
             Event::LsmKernelBitonicHit => "lsm_kernel_bitonic_hits",
             Event::LsmKernelBidiHit => "lsm_kernel_bidi_hits",
             Event::LsmKernelLoserTreePass => "lsm_kernel_losertree_passes",
+            Event::FcLockAcquire => "fc_lock_acquires",
+            Event::FcCombineRound => "fc_combine_rounds",
+            Event::FcOpsCombined => "fc_ops_combined",
         }
     }
 }

@@ -36,6 +36,15 @@ LSM_KERNEL_MIN_SPEEDUP="${LSM_KERNEL_MIN_SPEEDUP:-1.0}"
 # PR 4 pooled baseline). Acceptance target on quiet hardware is 1.15;
 # default 1.0 so noisy shared runners only fail on a real regression.
 KERNEL_TIER_MIN_SPEEDUP="${KERNEL_TIER_MIN_SPEEDUP:-1.0}"
+# Floor for the flat-combining A/B gate: geomean of the per-round
+# fc-vs-plain throughput ratios across both pairs (fc-globallock vs
+# globallock, fc-mound vs mound). The fc-mound pair carries the win —
+# the combiner drives the mound's exclusive-access paths, eliding all
+# per-node locking — measuring 1.6–1.9x even on one core; the
+# fc-globallock pair is a wash against an uncontended std mutex
+# (0.93–0.99x). Acceptance target is 1.1; default 1.0 so noisy shared
+# runners only fail on a real regression.
+FC_MIN_SPEEDUP="${FC_MIN_SPEEDUP:-1.0}"
 
 cargo run -p pq-bench --release --offline --bin mq_smoke -- \
     --threads "$THREADS" \
@@ -56,6 +65,19 @@ cargo run -p pq-bench --release --offline --bin lsm_kernels -- \
     --min-speedup "$LSM_KERNEL_MIN_SPEEDUP" \
     --min-kernel-speedup "$KERNEL_TIER_MIN_SPEEDUP" \
     --out BENCH_lsm_kernels.json
+
+echo "== flat-combining A/B + batch ablation (gates ${FC_MIN_SPEEDUP}x plain locked) =="
+# Interleaved A/B of each flat-combining queue against its plain locked
+# counterpart plus the m ∈ {1,4,16,64} batch-size frontier across the
+# batching families; writes BENCH_flat_combining.json (see
+# crates/bench/src/bin/batch_ablation.rs and EXPERIMENTS.md "Flat
+# combining and batch-size ablation"). Exits non-zero if the fc-vs-plain
+# geomean speedup falls below FC_MIN_SPEEDUP.
+cargo run -p pq-bench --release --offline --bin batch_ablation -- \
+    --threads "$THREADS" \
+    --duration-ms "$DURATION_MS" \
+    --min-speedup "$FC_MIN_SPEEDUP" \
+    --out BENCH_flat_combining.json
 
 echo "== instrumentation overhead (limit ${INSTR_MAX_OVERHEAD_PCT}%) =="
 cargo run -p pq-bench --release --offline --bin instr_overhead -- \

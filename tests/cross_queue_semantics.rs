@@ -21,6 +21,11 @@ fn all_specs() -> Vec<QueueSpec> {
         QueueSpec::Hunt,
         QueueSpec::Mound,
         QueueSpec::Cbpq,
+        QueueSpec::SprayBatch(16),
+        QueueSpec::FcGlobalLock(1),
+        QueueSpec::FcGlobalLock(16),
+        QueueSpec::FcMound(1),
+        QueueSpec::FcMound(16),
     ]
 }
 
@@ -82,6 +87,13 @@ fn strict_queues_return_exact_minimum_sequentially() {
         QueueSpec::Hunt,
         QueueSpec::Mound,
         QueueSpec::Cbpq,
+        QueueSpec::FcGlobalLock(1),
+        QueueSpec::FcMound(1),
+        // Batched flat combining is still exact through a single handle:
+        // a delete publishes batch-then-delete, committing its own
+        // buffer before the pop.
+        QueueSpec::FcGlobalLock(16),
+        QueueSpec::FcMound(16),
     ] {
         with_queue!(spec, 1, q => {
             let mut h = q.handle();
@@ -165,7 +177,13 @@ fn checker_passes_every_registry_queue() {
     // 1, 2 and 4 threads. Concurrent-drain monotonicity is additionally
     // asserted for the fully linearizable strict queues.
     for spec in all_specs() {
-        let strict_drain = matches!(spec, QueueSpec::Linden | QueueSpec::GlobalLock);
+        let strict_drain = matches!(
+            spec,
+            QueueSpec::Linden
+                | QueueSpec::GlobalLock
+                | QueueSpec::FcGlobalLock(1)
+                | QueueSpec::FcMound(1)
+        );
         for threads in [1usize, 2, 4] {
             let cfg = checker_cfg(threads, strict_drain);
             let report = with_queue!(spec, threads, q => checker::run_and_check(q, &cfg, None));

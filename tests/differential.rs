@@ -20,6 +20,13 @@ fn strict_specs() -> Vec<QueueSpec> {
         QueueSpec::Hunt,
         QueueSpec::Mound,
         QueueSpec::Cbpq,
+        QueueSpec::FcGlobalLock(1),
+        QueueSpec::FcMound(1),
+        // Batched flat combining stays exact through one handle: a
+        // delete publishes batch-then-delete, committing its own buffer
+        // before the pop.
+        QueueSpec::FcGlobalLock(8),
+        QueueSpec::FcMound(8),
     ]
 }
 
@@ -30,6 +37,7 @@ fn relaxed_specs() -> Vec<QueueSpec> {
         QueueSpec::Dlsm,
         QueueSpec::Slsm(32),
         QueueSpec::Spray,
+        QueueSpec::SprayBatch(16),
         QueueSpec::MultiQueue(4),
         QueueSpec::MultiQueuePairing(2),
         QueueSpec::MqSticky(4, 8, 8),
@@ -192,6 +200,75 @@ proptest! {
         if !ops.is_empty() {
             let stats = l.pool_stats();
             prop_assert!(stats.hits + stats.misses > 0);
+        }
+    }
+
+    /// Flat-combining queues against `seqpq::BinaryHeap` under real
+    /// multi-thread interleavings. Each thread runs its own
+    /// proptest-generated op plan through its own handle; whatever the
+    /// combiner interleaving, the multiset of items handed back across
+    /// all threads plus the final drain must equal the multiset the
+    /// reference heap holds after replaying every insert.
+    #[test]
+    fn flat_combining_matches_reference_heap_under_interleavings(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..120),
+            2..3,
+        ),
+        batch in prop_oneof![Just(1usize), Just(4usize), Just(16usize)],
+    ) {
+        for spec in [QueueSpec::FcGlobalLock(batch), QueueSpec::FcMound(batch)] {
+            let threads = plans.len();
+            let returned = with_queue!(spec, threads, q => {
+                let mut out: Vec<Item> = std::thread::scope(|s| {
+                    let joins: Vec<_> = plans
+                        .iter()
+                        .enumerate()
+                        .map(|(t, plan)| {
+                            let mut h = q.handle();
+                            s.spawn(move || {
+                                let mut got = Vec::new();
+                                for (i, op) in plan.iter().enumerate() {
+                                    match *op {
+                                        Op::Insert(k) => {
+                                            h.insert(k, (t * 1_000_000 + i) as u64)
+                                        }
+                                        Op::Delete => {
+                                            if let Some(it) = h.delete_min() {
+                                                got.push(it);
+                                            }
+                                        }
+                                    }
+                                }
+                                h.flush();
+                                got
+                            })
+                        })
+                        .collect();
+                    joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+                });
+                let mut drain = q.handle();
+                while let Some(it) = drain.delete_min() {
+                    out.push(it);
+                }
+                out
+            });
+            let mut model = seqpq::BinaryHeap::new();
+            for (t, plan) in plans.iter().enumerate() {
+                for (i, op) in plan.iter().enumerate() {
+                    if let Op::Insert(k) = *op {
+                        model.insert(k, (t * 1_000_000 + i) as u64);
+                    }
+                }
+            }
+            let mut expect: Vec<Item> = Vec::new();
+            while let Some(it) = model.delete_min() {
+                expect.push(it);
+            }
+            let mut got = returned;
+            got.sort();
+            expect.sort();
+            prop_assert_eq!(&got, &expect, "{} diverged from reference heap", spec);
         }
     }
 

@@ -60,7 +60,7 @@ fn instrumented_counts_reconcile_with_harness_op_counts() {
         &cfg,
     );
     // Fixed-ops mode: the harness performed exactly OPS ops per thread.
-    assert_eq!(r.per_thread_ops, vec![OPS; THREADS]);
+    assert_eq!(r.last_rep_thread_ops, vec![OPS; THREADS]);
     let queues = captured.lock().unwrap();
     assert_eq!(queues.len(), REPS);
     for q in queues.iter() {

@@ -55,7 +55,7 @@ mod traced {
         let r = run_throughput(QueueSpec::parse("multiqueue").unwrap(), &cell_cfg(THREADS));
         let data = trace::stop();
         assert!(!trace::active());
-        assert_eq!(r.per_thread_ops.len(), THREADS);
+        assert_eq!(r.last_rep_thread_ops.len(), THREADS);
 
         // Every worker thread produced a timeline holding op spans; the
         // coordinator produced the phase markers.
@@ -100,7 +100,7 @@ mod traced {
                 }
             }
         }
-        let total_ops: u64 = r.per_thread_ops.iter().sum();
+        let total_ops: u64 = r.last_rep_thread_ops.iter().sum();
         assert_eq!(batch_ops, total_ops, "OpBatch spans must cover every op");
         assert_eq!(flushes, THREADS, "one flush span per worker");
 
