@@ -1,6 +1,7 @@
-//! LSM kernel microbenchmark: legacy vs. pooled vs. branch-free kernels.
+//! LSM kernel microbenchmark: legacy vs. pooled vs. branch-free vs.
+//! SIMD-dispatched kernels.
 //!
-//! Four sequential arms measure the raw insert/delete-min kernel cost
+//! Five sequential arms measure the raw insert/delete-min kernel cost
 //! on one thread:
 //!
 //! * `legacy` — the pre-pool kernels ([`lsm::legacy::LegacyLsm`]):
@@ -11,15 +12,19 @@
 //!   disabled ([`lsm::Lsm::with_kernels_disabled`]): scalar cursor
 //!   merges and the repeated-pairwise drain, i.e. the PR 4 pooled
 //!   baseline.
-//! * `pool-on` — everything on ([`lsm::Lsm::new`]): block pool plus the
-//!   sorting-network / chunked-bitonic / loser-tree tiers of
-//!   [`lsm::kernels`].
+//! * `simd-off` — the scalar kernel tier pinned
+//!   ([`lsm::Lsm::with_simd_disabled`]): the frozen PR 5 branch-free
+//!   dispatch with none of the SIMD kernels.
+//! * `pool-on` — everything on ([`lsm::Lsm::new`]): block pool,
+//!   branch-free kernels, and whatever SIMD tier
+//!   [`lsm::active_tier`] detected (recorded in the JSON `meta` as
+//!   `simd_tier`).
 //!
 //! A concurrent section then runs the LSM-family queues (dlsm,
 //! klsm128/256/4096, plus batched `-b16` variants of dlsm and klsm128)
 //! through the standard harness at `--threads` threads on the uniform
 //! workload, so pre/post-PR throughput can be compared from the JSON
-//! alone. Everything is written to `BENCH_lsm_kernels.json`, including
+//! alone. Everything is written to `BENCH_simd_kernels.json`, including
 //! the pooled arm's hit rate and two geomean speedups; `--min-speedup`
 //! gates pool-on/legacy and `--min-kernel-speedup` gates
 //! pool-on/kernels-off as exit codes. `scripts/bench_smoke.sh` wraps
@@ -27,7 +32,7 @@
 //!
 //! ```text
 //! cargo run -p pq-bench --release --bin lsm_kernels -- \
-//!     --threads 4 --duration-ms 1000 --out BENCH_lsm_kernels.json
+//!     --threads 4 --duration-ms 1000 --out BENCH_simd_kernels.json
 //! ```
 
 use std::time::{Duration, Instant};
@@ -50,6 +55,7 @@ struct Args {
     seed: u64,
     min_speedup: f64,
     min_kernel_speedup: f64,
+    min_simd_speedup: f64,
     out: String,
     trace: Option<String>,
 }
@@ -65,7 +71,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x5EED,
         min_speedup: 0.0,
         min_kernel_speedup: 0.0,
-        out: "BENCH_lsm_kernels.json".to_owned(),
+        min_simd_speedup: 0.0,
+        out: "BENCH_simd_kernels.json".to_owned(),
         trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +99,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--min-kernel-speedup" => {
                 args.min_kernel_speedup = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--min-simd-speedup" => {
+                args.min_simd_speedup = take(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--out" => args.out = take(&mut i)?,
             "--trace" => args.trace = Some(take(&mut i)?),
@@ -122,8 +132,9 @@ fn next_key(state: &mut u64) -> u64 {
 /// equally instead of whichever arm happened to run during the dip.
 const SEQ_ROUNDS: usize = 16;
 
-/// Number of sequential arms (legacy, pool-off, kernels-off, pool-on).
-const ARMS: usize = 4;
+/// Number of sequential arms (legacy, pool-off, kernels-off,
+/// simd-off, pool-on).
+const ARMS: usize = 5;
 
 /// Prefill to `size` and run one untimed warmup pass so the arm starts
 /// from a settled block shape (and, for the pooled arms, a primed pool).
@@ -172,8 +183,9 @@ fn chunk_sawtooth<Q: SequentialPq>(
     start.elapsed()
 }
 
-/// Measured rates for the four sequential arms (legacy, pool-off,
-/// kernels-off, pool-on) on both workload shapes, in pairs/sec.
+/// Measured rates for the five sequential arms (legacy, pool-off,
+/// kernels-off, simd-off, pool-on) on both workload shapes, in
+/// pairs/sec.
 struct SeqRates {
     /// Constant-size insert/delete-min pair stream.
     pairs: [f64; ARMS],
@@ -185,7 +197,7 @@ impl SeqRates {
     /// Full-stack (pool-on vs. legacy) speedup on one workload.
     fn speedup_of(rates: &[f64; ARMS]) -> f64 {
         if rates[0] > 0.0 {
-            rates[3] / rates[0]
+            rates[4] / rates[0]
         } else {
             0.0
         }
@@ -195,7 +207,18 @@ impl SeqRates {
     /// the PR 4 pooled baseline) on one workload.
     fn kernel_speedup_of(rates: &[f64; ARMS]) -> f64 {
         if rates[2] > 0.0 {
-            rates[3] / rates[2]
+            rates[4] / rates[2]
+        } else {
+            0.0
+        }
+    }
+
+    /// SIMD production-dispatch speedup (pool-on, i.e. the detected
+    /// tier, vs. simd-off, the frozen PR 5 scalar-tier dispatch) on
+    /// one workload.
+    fn simd_speedup_of(rates: &[f64; ARMS]) -> f64 {
+        if rates[3] > 0.0 {
+            rates[4] / rates[3]
         } else {
             0.0
         }
@@ -212,21 +235,32 @@ impl SeqRates {
     fn kernel_speedup(&self) -> f64 {
         (Self::kernel_speedup_of(&self.pairs) * Self::kernel_speedup_of(&self.sawtooth)).sqrt()
     }
+
+    /// Headline SIMD dispatch speedup over the scalar-tier arm
+    /// (geomean of steady and sawtooth). With the measured host's
+    /// production dispatch this is a parity check — the A/B kept
+    /// every production path scalar — so the gate is a regression
+    /// floor, not a win threshold.
+    fn simd_speedup(&self) -> f64 {
+        (Self::simd_speedup_of(&self.pairs) * Self::simd_speedup_of(&self.sawtooth)).sqrt()
+    }
 }
 
-/// Measure all four sequential arms interleaved; returns per-workload
+/// Measure all five sequential arms interleaved; returns per-workload
 /// rates plus the pool-on arm's final pool stats.
 fn bench_seq_arms(size: usize, ops: usize, seed: u64) -> (SeqRates, lsm::PoolStats) {
     let mut legacy = LegacyLsm::new();
     let mut pool_off = Lsm::with_pool_disabled();
     let mut kernels_off = Lsm::with_kernels_disabled();
+    let mut simd_off = Lsm::with_simd_disabled();
     let mut pool_on = Lsm::new();
     // Identical key streams per arm: independent queues, same workload.
-    let (mut r0, mut r1, mut r2, mut r3) = (seed, seed, seed, seed);
+    let (mut r0, mut r1, mut r2, mut r3, mut r4) = (seed, seed, seed, seed, seed);
     prep_seq(&mut legacy, size, &mut r0);
     prep_seq(&mut pool_off, size, &mut r1);
     prep_seq(&mut kernels_off, size, &mut r2);
-    prep_seq(&mut pool_on, size, &mut r3);
+    prep_seq(&mut simd_off, size, &mut r3);
+    prep_seq(&mut pool_on, size, &mut r4);
     let chunk = (ops / SEQ_ROUNDS).max(1);
     // Per-arm *minimum* chunk time: on a shared core, each arm's rate
     // is taken from its cleanest window, so co-tenant steal time and
@@ -238,11 +272,13 @@ fn bench_seq_arms(size: usize, ops: usize, seed: u64) -> (SeqRates, lsm::PoolSta
         best_pairs[0] = best_pairs[0].min(chunk_seq(&mut legacy, chunk, &mut r0));
         best_pairs[1] = best_pairs[1].min(chunk_seq(&mut pool_off, chunk, &mut r1));
         best_pairs[2] = best_pairs[2].min(chunk_seq(&mut kernels_off, chunk, &mut r2));
-        best_pairs[3] = best_pairs[3].min(chunk_seq(&mut pool_on, chunk, &mut r3));
+        best_pairs[3] = best_pairs[3].min(chunk_seq(&mut simd_off, chunk, &mut r3));
+        best_pairs[4] = best_pairs[4].min(chunk_seq(&mut pool_on, chunk, &mut r4));
         best_saw[0] = best_saw[0].min(chunk_sawtooth(&mut legacy, chunk, size, &mut r0));
         best_saw[1] = best_saw[1].min(chunk_sawtooth(&mut pool_off, chunk, size, &mut r1));
         best_saw[2] = best_saw[2].min(chunk_sawtooth(&mut kernels_off, chunk, size, &mut r2));
-        best_saw[3] = best_saw[3].min(chunk_sawtooth(&mut pool_on, chunk, size, &mut r3));
+        best_saw[3] = best_saw[3].min(chunk_sawtooth(&mut simd_off, chunk, size, &mut r3));
+        best_saw[4] = best_saw[4].min(chunk_sawtooth(&mut pool_on, chunk, size, &mut r4));
     }
     let rates = SeqRates {
         pairs: std::array::from_fn(|i| chunk as f64 / best_pairs[i].as_secs_f64()),
@@ -283,7 +319,8 @@ fn main() {
         ("legacy     ", 0),
         ("pool-off   ", 1),
         ("kernels-off", 2),
-        ("pool-on    ", 3),
+        ("simd-off   ", 3),
+        ("pool-on    ", 4),
     ] {
         eprintln!(
             "  {name}  steady {:.3} M pairs/s | sawtooth {:.3} M pairs/s",
@@ -294,6 +331,7 @@ fn main() {
     eprintln!("  pool hit rate {:.4}", pool_stats.hit_rate());
     let speedup = rates.speedup();
     let kernel_speedup = rates.kernel_speedup();
+    let simd_speedup = rates.simd_speedup();
     eprintln!(
         "  speedup pool-on/legacy: steady {:.3}x, sawtooth {:.3}x, geomean {speedup:.3}x",
         SeqRates::speedup_of(&rates.pairs),
@@ -303,6 +341,12 @@ fn main() {
         "  speedup pool-on/kernels-off: steady {:.3}x, sawtooth {:.3}x, geomean {kernel_speedup:.3}x",
         SeqRates::kernel_speedup_of(&rates.pairs),
         SeqRates::kernel_speedup_of(&rates.sawtooth),
+    );
+    eprintln!(
+        "  speedup pool-on/simd-off ({} tier): steady {:.3}x, sawtooth {:.3}x, geomean {simd_speedup:.3}x",
+        lsm::active_tier().name(),
+        SeqRates::simd_speedup_of(&rates.pairs),
+        SeqRates::simd_speedup_of(&rates.sawtooth),
     );
 
     // Concurrent LSM-family cells on the uniform workload, for
@@ -363,13 +407,15 @@ fn main() {
     let json = format!(
         "{{\n  \"meta\": {},\n  \"size\": {},\n  \"ops\": {},\n  \"seed\": {},\n  \
          \"steady_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
-         \"kernels_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
+         \"kernels_off\": {:.1}, \"simd_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
          \"sawtooth_pairs_per_sec\": {{ \"legacy\": {:.1}, \"pool_off\": {:.1}, \
-         \"kernels_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
+         \"kernels_off\": {:.1}, \"simd_off\": {:.1}, \"pool_on\": {:.1} }},\n  \
          \"steady_speedup\": {:.4},\n  \"sawtooth_speedup\": {:.4},\n  \
          \"pool_on_speedup_vs_legacy\": {:.4},\n  \
          \"kernel_steady_speedup\": {:.4},\n  \"kernel_sawtooth_speedup\": {:.4},\n  \
          \"kernel_speedup_vs_pooled\": {:.4},\n  \
+         \"simd_steady_speedup\": {:.4},\n  \"simd_sawtooth_speedup\": {:.4},\n  \
+         \"simd_speedup_vs_scalar_tier\": {:.4},\n  \
          \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
          \"pool_recycled_bytes\": {},\n  \"threads\": {},\n  \"prefill\": {},\n  \
          \"duration_ms\": {},\n  \"reps\": {},\n  \"concurrent\": [\n{body}\n  ]\n}}\n",
@@ -381,16 +427,21 @@ fn main() {
         rates.pairs[1],
         rates.pairs[2],
         rates.pairs[3],
+        rates.pairs[4],
         rates.sawtooth[0],
         rates.sawtooth[1],
         rates.sawtooth[2],
         rates.sawtooth[3],
+        rates.sawtooth[4],
         SeqRates::speedup_of(&rates.pairs),
         SeqRates::speedup_of(&rates.sawtooth),
         speedup,
         SeqRates::kernel_speedup_of(&rates.pairs),
         SeqRates::kernel_speedup_of(&rates.sawtooth),
         kernel_speedup,
+        SeqRates::simd_speedup_of(&rates.pairs),
+        SeqRates::simd_speedup_of(&rates.sawtooth),
+        simd_speedup,
         pool_stats.hits,
         pool_stats.misses,
         pool_stats.hit_rate(),
@@ -406,8 +457,10 @@ fn main() {
     }
     println!(
         "wrote {} — pooled kernels {speedup:.2}x vs legacy, branch-free tiers \
-         {kernel_speedup:.2}x vs pooled baseline (pool hit rate {:.4})",
+         {kernel_speedup:.2}x vs pooled baseline, {} tier {simd_speedup:.2}x vs \
+         scalar tier (pool hit rate {:.4})",
         args.out,
+        lsm::active_tier().name(),
         pool_stats.hit_rate(),
     );
     let mut failed = false;
@@ -422,6 +475,13 @@ fn main() {
         eprintln!(
             "lsm_kernels: FAIL — kernel speedup {kernel_speedup:.3}x below required {:.3}x",
             args.min_kernel_speedup
+        );
+        failed = true;
+    }
+    if args.min_simd_speedup > 0.0 && simd_speedup < args.min_simd_speedup {
+        eprintln!(
+            "lsm_kernels: FAIL — SIMD dispatch speedup {simd_speedup:.3}x below required {:.3}x",
+            args.min_simd_speedup
         );
         failed = true;
     }

@@ -26,20 +26,33 @@ use pq_traits::telemetry::{self, EventCounts};
 use pq_traits::trace;
 
 /// Version of the exported JSON layout, bumped on breaking shape
-/// changes. Version 2 added the `meta` block itself.
-pub const SCHEMA_VERSION: u32 = 2;
+/// changes. Version 2 added the `meta` block itself; version 3 added
+/// the runtime-detected `cpu_features` list and the dispatched
+/// `simd_tier` (both from [`lsm::KernelTier`]), so a recorded run
+/// states which kernel tier actually produced its numbers.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The self-describing `meta` object every JSON export embeds: schema
 /// version, compiled feature switches, worker thread count (0 when the
 /// export spans several thread counts and the per-cell value governs),
-/// and host OS/arch, so a BENCH_*.json can be interpreted long after
-/// the run that produced it.
+/// host OS/arch, the runtime-detected CPU feature set, and the kernel
+/// tier the LSM dispatch selected (honouring `LSM_FORCE_KERNEL_TIER`),
+/// so a BENCH_*.json can be interpreted long after the run that
+/// produced it.
 pub fn run_metadata_json(threads: usize) -> String {
+    let cpu_features = lsm::KernelTier::detected_cpu_features()
+        .iter()
+        .map(|f| format!("\"{}\"", json_escape(f)))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\"schema_version\": {SCHEMA_VERSION}, \"os\": \"{}\", \"arch\": \"{}\", \
-         \"threads\": {threads}, \"features\": {{\"telemetry\": {}, \"trace\": {}}}}}",
+         \"threads\": {threads}, \"cpu_features\": [{cpu_features}], \
+         \"simd_tier\": \"{}\", \
+         \"features\": {{\"telemetry\": {}, \"trace\": {}}}}}",
         json_escape(std::env::consts::OS),
         json_escape(std::env::consts::ARCH),
+        json_escape(lsm::active_tier().name()),
         telemetry::enabled(),
         trace::compiled(),
     )
@@ -500,6 +513,12 @@ mod tests {
         assert!(json.contains("\"threads\": 2,"), "meta threads missing: {json}");
         assert!(json.contains(&format!("\"telemetry\": {}", telemetry::enabled())));
         assert!(json.contains(&format!("\"trace\": {}", trace::compiled())));
+        // v3: the dispatched kernel tier and detected CPU feature set.
+        assert!(
+            json.contains(&format!("\"simd_tier\": \"{}\"", lsm::active_tier().name())),
+            "meta simd_tier missing: {json}"
+        );
+        assert!(json.contains("\"cpu_features\": ["), "meta cpu_features missing: {json}");
         // The standalone helper matches what the report embeds.
         assert_balanced(&run_metadata_json(8));
         assert!(run_metadata_json(8).contains("\"threads\": 8"));

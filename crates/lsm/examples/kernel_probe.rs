@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use lsm::{kernels, BlockPool, Lsm};
+use lsm::{kernels, simd, BlockPool, KernelTier, Lsm};
 use pq_traits::{Item, SequentialPq};
 
 fn next_key(state: &mut u64) -> u64 {
@@ -54,7 +54,7 @@ fn bench_merge(n: usize, rng: &mut u64) {
     });
     let chunked = time("chunked", 1000, || {
         out.clear();
-        kernels::merge_bitonic_chunked(&a, &b, &mut out, &mut pool);
+        kernels::merge_bitonic_chunked(&a, &b, &mut out, &mut pool, KernelTier::Scalar);
         std::hint::black_box(&out);
     });
     let bidi = time("bidi   ", 1000, || {
@@ -67,6 +67,38 @@ fn bench_merge(n: usize, rng: &mut u64) {
         scalar / chunked,
         scalar / bidi
     );
+    for tier in KernelTier::available_tiers() {
+        if !tier.merge_viable(a.len(), b.len()) {
+            continue;
+        }
+        let t = time(tier.name(), 1000, || {
+            out.clear();
+            simd::merge_simd_append(tier, &a, &b, &mut out);
+            std::hint::black_box(&out);
+        });
+        println!("  -> {}/bidi: {:.3}x", tier.name(), bidi / t);
+    }
+}
+
+fn bench_argmin(n: usize, rng: &mut u64) {
+    println!("argmin {n}:");
+    let v: Vec<Item> = (0..n).map(|_| Item::new(next_key(rng), 0)).collect();
+    let keys: Vec<u64> = v.iter().map(|it| it.key).collect();
+    let mut base = f64::MAX;
+    for tier in KernelTier::available_tiers() {
+        let t = time(tier.name(), 100_000, || {
+            std::hint::black_box(simd::argmin_forced(
+                tier,
+                std::hint::black_box(&keys),
+                std::hint::black_box(&v),
+            ));
+        });
+        if tier == KernelTier::Scalar {
+            base = t;
+        } else {
+            println!("  -> {}/scalar: {:.3}x", tier.name(), base / t);
+        }
+    }
 }
 
 fn bench_small_sort(n: usize, rng: &mut u64) {
@@ -78,12 +110,14 @@ fn bench_small_sort(n: usize, rng: &mut u64) {
         buf.sort_unstable();
         std::hint::black_box(&buf);
     });
-    let net_t = time("network", 10_000, || {
-        buf.copy_from_slice(&src);
-        kernels::sort_items(&mut buf);
-        std::hint::black_box(&buf);
-    });
-    println!("  -> network/std: {:.3}x", std_t / net_t);
+    for tier in KernelTier::available_tiers() {
+        let net_t = time(tier.name(), 10_000, || {
+            buf.copy_from_slice(&src);
+            kernels::sort_items_tier(&mut buf, tier);
+            std::hint::black_box(&buf);
+        });
+        println!("  -> {}/std: {:.3}x", tier.name(), std_t / net_t);
+    }
 }
 
 fn bench_small_merge(la: usize, lb: usize, rng: &mut u64) {
@@ -96,21 +130,31 @@ fn bench_small_merge(la: usize, lb: usize, rng: &mut u64) {
         kernels::scalar_merge_append(&a, &b, &mut out);
         std::hint::black_box(&out);
     });
-    let net = time("network", 10_000, || {
-        out.clear();
-        kernels::merge_network_into(&a, &b, &mut out);
-        std::hint::black_box(&out);
-    });
+    if la + lb <= kernels::NETWORK_MAX_CAP {
+        let net = time("network", 10_000, || {
+            out.clear();
+            kernels::merge_network_into(&a, &b, &mut out, KernelTier::Scalar);
+            std::hint::black_box(&out);
+        });
+        println!("  -> network/scalar: {:.3}x", scalar / net);
+    }
     let bidi = time("bidi   ", 10_000, || {
         out.clear();
         kernels::merge_bidirectional_append(&a, &b, &mut out);
         std::hint::black_box(&out);
     });
-    println!(
-        "  -> network/scalar: {:.3}x, bidi/scalar: {:.3}x",
-        scalar / net,
-        scalar / bidi
-    );
+    println!("  -> bidi/scalar: {:.3}x", scalar / bidi);
+    for tier in KernelTier::available_tiers() {
+        if !tier.merge_viable(la, lb) {
+            continue;
+        }
+        let t = time(tier.name(), 10_000, || {
+            out.clear();
+            simd::merge_simd_append(tier, &a, &b, &mut out);
+            std::hint::black_box(&out);
+        });
+        println!("  -> {}/scalar: {:.3}x", tier.name(), scalar / t);
+    }
 }
 
 fn chunk_steady(q: &mut Lsm, pairs: usize, rng: &mut u64) -> std::time::Duration {
@@ -138,12 +182,10 @@ fn chunk_saw(q: &mut Lsm, pairs: usize, burst: usize, rng: &mut u64) -> std::tim
     t.elapsed()
 }
 
-/// Interleaved min-of-chunks A/B of kernels-on vs kernels-off, the same
+/// Interleaved min-of-chunks A/B of two queue configurations, the same
 /// methodology as the gated bench binary.
-fn bench_queue_ab(size: usize, pairs: usize, seed: u64) -> (f64, f64) {
+fn bench_queue_ab(mut on: Lsm, mut off: Lsm, size: usize, pairs: usize, seed: u64) -> (f64, f64) {
     const ROUNDS: usize = 12;
-    let mut on = Lsm::new();
-    let mut off = Lsm::with_kernels_disabled();
     let (mut r_on, mut r_off) = (seed, seed);
     for _ in 0..size {
         on.insert(next_key(&mut r_on), 0);
@@ -182,12 +224,35 @@ fn main() {
     for n in [8usize, 16, 32] {
         bench_small_sort(n, &mut rng);
     }
-    for (la, lb) in [(4usize, 4usize), (8, 8), (16, 16), (16, 8)] {
+    for (la, lb) in [(2usize, 2usize), (4, 4), (8, 8), (16, 16), (16, 8), (32, 32)] {
         bench_small_merge(la, lb, &mut rng);
     }
-    println!("whole queue (size 8192, interleaved A/B):");
-    let (s, w) = bench_queue_ab(8192, 2_400_000, 0xAB5EED);
+    for n in [13usize, 16, 33, 64, 128, 256] {
+        bench_argmin(n, &mut rng);
+    }
+    println!("whole queue kernels on/off (size 8192, interleaved A/B):");
+    let (s, w) = bench_queue_ab(
+        Lsm::new(),
+        Lsm::with_kernels_disabled(),
+        8192,
+        2_400_000,
+        0xAB5EED,
+    );
     println!("  -> geomean {:.3}x", (s * w).sqrt());
+    for size in [8192usize, 100_000, 1 << 20] {
+        println!(
+            "whole queue {} vs simd-off (size {size}, interleaved A/B):",
+            simd::active_tier().name()
+        );
+        let (s, w) = bench_queue_ab(
+            Lsm::new(),
+            Lsm::with_simd_disabled(),
+            size,
+            2_400_000,
+            0xAB5EED,
+        );
+        println!("  -> geomean {:.3}x", (s * w).sqrt());
+    }
     #[cfg(feature = "telemetry")]
     {
         use pq_traits::telemetry::{snapshot, Event};

@@ -48,6 +48,7 @@
 //! must reference them instead of repeating the numbers.
 
 use crate::pool::BlockPool;
+use crate::simd::{self, KernelTier};
 use pq_traits::{telemetry, Item};
 
 /// Largest combined block size handled by the tier-1 sorting/merging
@@ -97,7 +98,7 @@ pub(crate) const SENTINEL: Item = Item::new(u64::MAX, u64::MAX);
 /// pairs instead of a two-field struct compare the backend may lower to
 /// branches. Packing costs one shift+or per loaded item, unpacking one
 /// shift per emitted item — both off the critical compare path.
-type Lane = u128;
+pub(crate) type Lane = u128;
 
 /// [`SENTINEL`] in packed form (`u128::MAX`).
 const LANE_MAX: Lane = Lane::MAX;
@@ -127,9 +128,34 @@ fn cex(buf: &mut [Lane], i: usize, j: usize) {
 /// Batcher odd-even merge-sort network over a fixed power-of-two size.
 /// The `(p, k, j)` schedule is data-independent; for const `N` the
 /// compiler monomorphizes (and largely unrolls) one network per size
-/// class.
-fn batcher_sort<const N: usize>(buf: &mut [Lane; N]) {
+/// class. The scalar tier runs the PR 5 per-element loop unchanged; the
+/// SIMD tiers feed the same schedule through [`simd::cex_span`], whose
+/// disjointness requirement the schedule satisfies because every span
+/// is capped at `k` (all low indices land in `[j, j+k)`, all high in
+/// `[j+k, j+2k)`).
+fn batcher_sort<const N: usize>(buf: &mut [Lane; N], tier: KernelTier) {
     debug_assert!(N.is_power_of_two());
+    if tier == KernelTier::Scalar {
+        let mut p = 1;
+        while p < N {
+            let mut k = p;
+            while k >= 1 {
+                let mut j = k % p;
+                while j + k < N {
+                    let span = k.min(N - j - k);
+                    for i in 0..span {
+                        if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                            cex(buf, i + j, i + j + k);
+                        }
+                    }
+                    j += 2 * k;
+                }
+                k /= 2;
+            }
+            p *= 2;
+        }
+        return;
+    }
     let mut p = 1;
     while p < N {
         let mut k = p;
@@ -137,9 +163,21 @@ fn batcher_sort<const N: usize>(buf: &mut [Lane; N]) {
             let mut j = k % p;
             while j + k < N {
                 let span = k.min(N - j - k);
-                for i in 0..span {
-                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
-                        cex(buf, i + j, i + j + k);
+                // The guard `(t)/(2p) == (t+k)/(2p)` holds exactly when
+                // `t mod 2p < 2p - k`; over a window of length ≤ k ≤ p
+                // it flips at most once per 2p boundary, so the valid
+                // indices form contiguous runs that map onto vector
+                // compare-exchange spans.
+                let mut i = 0;
+                while i < span {
+                    let t = j + i;
+                    let r = t % (2 * p);
+                    if r < 2 * p - k {
+                        let run = span.min(i + (2 * p - k - r)) - i;
+                        simd::cex_span(tier, buf, t, t + k, run);
+                        i += run;
+                    } else {
+                        i += 2 * p - r;
                     }
                 }
                 j += 2 * k;
@@ -152,20 +190,35 @@ fn batcher_sort<const N: usize>(buf: &mut [Lane; N]) {
 
 /// Bitonic merge network: sorts a bitonic sequence (ascending run
 /// followed by a descending run) of fixed power-of-two length ascending.
-/// `log₂ N` stages of `N/2` independent compare-exchanges each.
-fn bitonic_merge_pow2<const N: usize>(buf: &mut [Lane; N]) {
+/// `log₂ N` stages of `N/2` independent compare-exchanges each. The
+/// scalar tier runs the PR 5 per-element loop unchanged; the SIMD tiers
+/// run each stage as `N/2k` disjoint compare-exchange spans of length
+/// `k` (pairs `(i, i+k)` for `i` in a `k`-aligned block).
+fn bitonic_merge_pow2<const N: usize>(buf: &mut [Lane; N], tier: KernelTier) {
     debug_assert!(N.is_power_of_two());
+    if tier == KernelTier::Scalar {
+        let mut k = N / 2;
+        while k >= 1 {
+            let mut i = 0;
+            while i < N {
+                cex(buf, i, i + k);
+                i += 1;
+                // Skip to the next pair block once the low `k` indices of
+                // this one are exhausted (index arithmetic only).
+                if i & k != 0 {
+                    i += k;
+                }
+            }
+            k /= 2;
+        }
+        return;
+    }
     let mut k = N / 2;
     while k >= 1 {
         let mut i = 0;
         while i < N {
-            cex(buf, i, i + k);
-            i += 1;
-            // Skip to the next pair block once the low `k` indices of
-            // this one are exhausted (index arithmetic only).
-            if i & k != 0 {
-                i += k;
-            }
+            simd::cex_span(tier, buf, i, i + k, k);
+            i += 2 * k;
         }
         k /= 2;
     }
@@ -174,27 +227,27 @@ fn bitonic_merge_pow2<const N: usize>(buf: &mut [Lane; N]) {
 /// Run the monomorphized Batcher network matching `n`'s size class over
 /// the first `next_power_of_two(n)` slots of `buf`.
 #[inline]
-fn batcher_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize) {
+fn batcher_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize, tier: KernelTier) {
     debug_assert!(n <= NETWORK_MAX_CAP);
     match n.next_power_of_two().max(2) {
-        2 => batcher_sort::<2>((&mut buf[..2]).try_into().expect("size 2")),
-        4 => batcher_sort::<4>((&mut buf[..4]).try_into().expect("size 4")),
-        8 => batcher_sort::<8>((&mut buf[..8]).try_into().expect("size 8")),
-        16 => batcher_sort::<16>((&mut buf[..16]).try_into().expect("size 16")),
-        _ => batcher_sort::<32>(buf),
+        2 => batcher_sort::<2>((&mut buf[..2]).try_into().expect("size 2"), tier),
+        4 => batcher_sort::<4>((&mut buf[..4]).try_into().expect("size 4"), tier),
+        8 => batcher_sort::<8>((&mut buf[..8]).try_into().expect("size 8"), tier),
+        16 => batcher_sort::<16>((&mut buf[..16]).try_into().expect("size 16"), tier),
+        _ => batcher_sort::<32>(buf, tier),
     }
 }
 
 /// Run the monomorphized bitonic merge network matching `n`'s size class.
 #[inline]
-fn bitonic_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize) {
+fn bitonic_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize, tier: KernelTier) {
     debug_assert!(n <= NETWORK_MAX_CAP);
     match n.next_power_of_two().max(2) {
-        2 => bitonic_merge_pow2::<2>((&mut buf[..2]).try_into().expect("size 2")),
-        4 => bitonic_merge_pow2::<4>((&mut buf[..4]).try_into().expect("size 4")),
-        8 => bitonic_merge_pow2::<8>((&mut buf[..8]).try_into().expect("size 8")),
-        16 => bitonic_merge_pow2::<16>((&mut buf[..16]).try_into().expect("size 16")),
-        _ => bitonic_merge_pow2::<32>(buf),
+        2 => bitonic_merge_pow2::<2>((&mut buf[..2]).try_into().expect("size 2"), tier),
+        4 => bitonic_merge_pow2::<4>((&mut buf[..4]).try_into().expect("size 4"), tier),
+        8 => bitonic_merge_pow2::<8>((&mut buf[..8]).try_into().expect("size 8"), tier),
+        16 => bitonic_merge_pow2::<16>((&mut buf[..16]).try_into().expect("size 16"), tier),
+        _ => bitonic_merge_pow2::<32>(buf, tier),
     }
 }
 
@@ -202,18 +255,21 @@ fn bitonic_dispatch(buf: &mut [Lane; NETWORK_MAX_CAP], n: usize) {
 /// network of their size class. Items are staged — packed — through a
 /// sentinel-padded stack buffer so the network always runs at its full
 /// class width.
-pub(crate) fn sort_network(items: &mut [Item]) {
+pub(crate) fn sort_network(items: &mut [Item], tier: KernelTier) {
     let n = items.len();
     debug_assert!(n <= NETWORK_MAX_CAP);
     if n <= 1 {
         return;
     }
     telemetry::record_quiet(telemetry::Event::LsmKernelNetworkHit);
+    if tier != KernelTier::Scalar {
+        telemetry::record_quiet(telemetry::Event::LsmKernelSimdCexHit);
+    }
     let mut buf = [LANE_MAX; NETWORK_MAX_CAP];
     for (lane, &it) in buf.iter_mut().zip(items.iter()) {
         *lane = pack(it);
     }
-    batcher_dispatch(&mut buf, n);
+    batcher_dispatch(&mut buf, n, tier);
     for (it, &lane) in items.iter_mut().zip(buf.iter()) {
         *it = unpack(lane);
     }
@@ -223,9 +279,16 @@ pub(crate) fn sort_network(items: &mut [Item]) {
 /// Sort a batch of items: the tier-1 network for small batches,
 /// `sort_unstable` beyond the network cutoff. `Item`'s total order over
 /// `(key, seq)` makes stability moot — equal items are bit-identical.
+/// Runs the process-wide [`simd::active_tier`]; queue internals that
+/// carry an instance tier use [`sort_items_tier`].
 pub fn sort_items(items: &mut [Item]) {
+    sort_items_tier(items, simd::active_tier());
+}
+
+/// [`sort_items`] at an explicit kernel tier.
+pub fn sort_items_tier(items: &mut [Item], tier: KernelTier) {
     if items.len() <= NETWORK_MAX_CAP {
-        sort_network(items);
+        sort_network(items, tier);
     } else {
         items.sort_unstable();
     }
@@ -236,12 +299,15 @@ pub fn sort_items(items: &mut [Item]) {
 /// bitonic sequence — `a` ascending, sentinel padding, `b` reversed —
 /// and a single bitonic merge network of the combined size class sorts
 /// them with no data-dependent branches at all.
-pub fn merge_network_into(a: &[Item], b: &[Item], out: &mut Vec<Item>) {
+pub fn merge_network_into(a: &[Item], b: &[Item], out: &mut Vec<Item>, tier: KernelTier) {
     let total = a.len() + b.len();
     debug_assert!(0 < total && total <= NETWORK_MAX_CAP);
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
     telemetry::record_quiet(telemetry::Event::LsmKernelNetworkHit);
+    if tier != KernelTier::Scalar {
+        telemetry::record_quiet(telemetry::Event::LsmKernelSimdCexHit);
+    }
     let n = total.next_power_of_two().max(2);
     let mut buf = [LANE_MAX; NETWORK_MAX_CAP];
     for (lane, &x) in buf.iter_mut().zip(a.iter()) {
@@ -251,7 +317,7 @@ pub fn merge_network_into(a: &[Item], b: &[Item], out: &mut Vec<Item>) {
     for (i, &x) in b.iter().enumerate() {
         buf[n - 1 - i] = pack(x);
     }
-    bitonic_dispatch(&mut buf, n);
+    bitonic_dispatch(&mut buf, n, tier);
     let mut emit = [SENTINEL; NETWORK_MAX_CAP];
     for (it, &lane) in emit.iter_mut().zip(buf.iter()) {
         *it = unpack(lane);
@@ -458,12 +524,21 @@ pub(crate) fn argmin(items: &[Item]) -> usize {
 /// data-dependent branch is the per-chunk refill choice. Tails shorter
 /// than a chunk are finished with the scalar kernel through a pooled
 /// scratch buffer.
-pub fn merge_bitonic_chunked(a: &[Item], b: &[Item], out: &mut Vec<Item>, pool: &mut BlockPool) {
+pub fn merge_bitonic_chunked(
+    a: &[Item],
+    b: &[Item],
+    out: &mut Vec<Item>,
+    pool: &mut BlockPool,
+    tier: KernelTier,
+) {
     const W: usize = BITONIC_CHUNK;
     debug_assert!(a.len() >= W && b.len() >= W);
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
     telemetry::record_quiet(telemetry::Event::LsmKernelBitonicHit);
+    if tier != KernelTier::Scalar {
+        telemetry::record_quiet(telemetry::Event::LsmKernelSimdCexHit);
+    }
     let base = out.len();
     out.reserve(a.len() + b.len());
     let mut buf = [LANE_MAX; BITONIC_BUF];
@@ -473,7 +548,7 @@ pub fn merge_bitonic_chunked(a: &[Item], b: &[Item], out: &mut Vec<Item>, pool: 
     }
     let (mut ia, mut ib) = (W, W);
     loop {
-        bitonic_merge_pow2::<BITONIC_BUF>(&mut buf);
+        bitonic_merge_pow2::<BITONIC_BUF>(&mut buf, tier);
         let mut emit = [SENTINEL; W];
         for (it, &lane) in emit.iter_mut().zip(buf.iter()) {
             *it = unpack(lane);
@@ -603,41 +678,47 @@ mod tests {
 
     #[test]
     fn sort_network_every_size_reversed() {
-        for n in 0..=NETWORK_MAX_CAP {
-            let mut v = items(&(0..n as u64).rev().collect::<Vec<_>>());
-            sort_network(&mut v);
-            let mut expect = v.clone();
-            expect.sort();
-            assert_eq!(v, expect, "size {n}");
+        for tier in KernelTier::available_tiers() {
+            for n in 0..=NETWORK_MAX_CAP {
+                let mut v = items(&(0..n as u64).rev().collect::<Vec<_>>());
+                sort_network(&mut v, tier);
+                let mut expect = v.clone();
+                expect.sort();
+                assert_eq!(v, expect, "size {n} tier {}", tier.name());
+            }
         }
     }
 
     #[test]
     fn sort_network_handles_sentinel_valued_items() {
-        let mut v = vec![
-            Item::new(u64::MAX, u64::MAX),
-            Item::new(3, 0),
-            Item::new(u64::MAX, u64::MAX),
-            Item::new(1, 9),
-        ];
-        sort_network(&mut v);
-        assert_eq!(v[0], Item::new(1, 9));
-        assert_eq!(v[1], Item::new(3, 0));
-        assert_eq!(v[2], Item::new(u64::MAX, u64::MAX));
-        assert_eq!(v[3], Item::new(u64::MAX, u64::MAX));
+        for tier in KernelTier::available_tiers() {
+            let mut v = vec![
+                Item::new(u64::MAX, u64::MAX),
+                Item::new(3, 0),
+                Item::new(u64::MAX, u64::MAX),
+                Item::new(1, 9),
+            ];
+            sort_network(&mut v, tier);
+            assert_eq!(v[0], Item::new(1, 9));
+            assert_eq!(v[1], Item::new(3, 0));
+            assert_eq!(v[2], Item::new(u64::MAX, u64::MAX));
+            assert_eq!(v[3], Item::new(u64::MAX, u64::MAX));
+        }
     }
 
     #[test]
     fn merge_network_all_split_shapes() {
-        for la in 1..=16usize {
-            for lb in 1..=16usize {
-                let a: Vec<Item> = (0..la as u64).map(|k| Item::new(2 * k, 0)).collect();
-                let b: Vec<Item> = (0..lb as u64).map(|k| Item::new(2 * k + 1, 1)).collect();
-                let mut out = Vec::with_capacity(la + lb);
-                merge_network_into(&a, &b, &mut out);
-                let mut expect = [a, b].concat();
-                expect.sort();
-                assert_eq!(out, expect, "la={la} lb={lb}");
+        for tier in KernelTier::available_tiers() {
+            for la in 1..=16usize {
+                for lb in 1..=16usize {
+                    let a: Vec<Item> = (0..la as u64).map(|k| Item::new(2 * k, 0)).collect();
+                    let b: Vec<Item> = (0..lb as u64).map(|k| Item::new(2 * k + 1, 1)).collect();
+                    let mut out = Vec::with_capacity(la + lb);
+                    merge_network_into(&a, &b, &mut out, tier);
+                    let mut expect = [a, b].concat();
+                    expect.sort();
+                    assert_eq!(out, expect, "la={la} lb={lb} tier {}", tier.name());
+                }
             }
         }
     }
@@ -650,16 +731,18 @@ mod tests {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             rng >> 33
         };
-        for (la, lb) in [(8, 8), (8, 9), (17, 8), (64, 64), (100, 9), (9, 100), (33, 57)] {
-            let mut a: Vec<Item> = (0..la).map(|i| Item::new(next() % 64, i)).collect();
-            let mut b: Vec<Item> = (0..lb).map(|i| Item::new(next() % 64, 1000 + i)).collect();
-            a.sort();
-            b.sort();
-            let mut out = Vec::new();
-            merge_bitonic_chunked(&a, &b, &mut out, &mut pool);
-            let mut expect = [a.clone(), b.clone()].concat();
-            expect.sort();
-            assert_eq!(out, expect, "la={la} lb={lb}");
+        for tier in KernelTier::available_tiers() {
+            for (la, lb) in [(8, 8), (8, 9), (17, 8), (64, 64), (100, 9), (9, 100), (33, 57)] {
+                let mut a: Vec<Item> = (0..la).map(|i| Item::new(next() % 64, i)).collect();
+                let mut b: Vec<Item> = (0..lb).map(|i| Item::new(next() % 64, 1000 + i)).collect();
+                a.sort();
+                b.sort();
+                let mut out = Vec::new();
+                merge_bitonic_chunked(&a, &b, &mut out, &mut pool, tier);
+                let mut expect = [a.clone(), b.clone()].concat();
+                expect.sort();
+                assert_eq!(out, expect, "la={la} lb={lb} tier {}", tier.name());
+            }
         }
     }
 
@@ -698,12 +781,12 @@ mod tests {
         use pq_traits::telemetry::{snapshot, Event};
         let before = snapshot();
         let mut v = items(&[3, 1, 2]);
-        sort_network(&mut v);
+        sort_network(&mut v, KernelTier::Scalar);
         let mut out = Vec::new();
-        merge_network_into(&v, &v.clone(), &mut out);
+        merge_network_into(&v, &v.clone(), &mut out, KernelTier::Scalar);
         let big: Vec<Item> = (0..32).map(|k| Item::new(k, 0)).collect();
         out.clear();
-        merge_bitonic_chunked(&big, &big.clone(), &mut out, &mut BlockPool::new());
+        merge_bitonic_chunked(&big, &big.clone(), &mut out, &mut BlockPool::new(), KernelTier::Scalar);
         let runs = [big.as_slice(), v.as_slice()];
         let mut heads = Vec::with_capacity(TREE_CAP);
         out.clear();
@@ -799,11 +882,13 @@ mod tests {
         fn prop_batcher_matches_std_sort(
             keys in proptest::collection::vec(0u64..16, 0..NETWORK_MAX_CAP + 1)
         ) {
-            let mut v = items(&keys);
-            let mut expect = v.clone();
-            sort_network(&mut v);
-            expect.sort();
-            proptest::prop_assert_eq!(v, expect);
+            for tier in KernelTier::available_tiers() {
+                let mut v = items(&keys);
+                let mut expect = v.clone();
+                sort_network(&mut v, tier);
+                expect.sort();
+                proptest::prop_assert_eq!(v, expect);
+            }
         }
 
         #[test]
@@ -816,11 +901,13 @@ mod tests {
             b.sort_unstable();
             let ia: Vec<Item> = a.iter().map(|&k| Item::new(k, 0)).collect();
             let ib: Vec<Item> = b.iter().map(|&k| Item::new(k, 1)).collect();
-            let mut out = Vec::new();
-            merge_bitonic_chunked(&ia, &ib, &mut out, &mut BlockPool::new());
-            let mut expect = [ia, ib].concat();
+            let mut expect = [ia.clone(), ib.clone()].concat();
             expect.sort();
-            proptest::prop_assert_eq!(out, expect);
+            for tier in KernelTier::available_tiers() {
+                let mut out = Vec::new();
+                merge_bitonic_chunked(&ia, &ib, &mut out, &mut BlockPool::new(), tier);
+                proptest::prop_assert_eq!(out, expect.clone());
+            }
         }
     }
 }

@@ -24,7 +24,8 @@
 //! Merging and draining run the branch-free kernels from [`kernels`];
 //! [`Lsm::with_kernels_disabled`] keeps the PR 4 scalar path as an A/B
 //! arm, and [`legacy::LegacyLsm`] preserves the pre-pool kernels
-//! (`lsm_kernels` in `pq-bench` benches all four arms).
+//! (`lsm_kernels` in `pq-bench` benches all five arms, including
+//! [`Lsm::with_simd_disabled`], the scalar-tier dispatch).
 
 #![warn(missing_docs)]
 
@@ -32,10 +33,12 @@ pub mod block;
 pub mod kernels;
 pub mod legacy;
 pub mod pool;
+pub mod simd;
 
 pub use block::Block;
-pub use kernels::{sort_items, BITONIC_CHUNK, MERGE_PATH_MIN, NETWORK_MAX_CAP};
+pub use kernels::{sort_items, sort_items_tier, BITONIC_CHUNK, MERGE_PATH_MIN, NETWORK_MAX_CAP};
 pub use pool::{BlockPool, PoolStats};
+pub use simd::{active_tier, KernelTier};
 
 use std::collections::VecDeque;
 
@@ -58,12 +61,24 @@ pub struct Lsm {
     /// every block's buffer — one or two contiguous cache lines instead
     /// of a scattered load per block.
     heads: Vec<Item>,
+    /// `head_keys[i] == heads[i].key`: a keys-only twin of the head
+    /// mirror. The SIMD argmin reads this array with plain 512-bit
+    /// loads — eight candidate keys per register with no key-extraction
+    /// shuffles — and only touches `heads` to tie-break equal keys.
+    /// Maintained unconditionally (one extra `u64` store per head
+    /// update) so every A/B arm pays the same bookkeeping.
+    head_keys: Vec<u64>,
     len: usize,
     pool: BlockPool,
     /// Branch-free kernel tiers enabled (see [`kernels`]). `false` only
     /// on the kernels-off A/B arm, which runs the PR 4 scalar merge and
     /// repeated-pairwise drain instead.
     branch_free: bool,
+    /// SIMD kernel tier dispatched at construction (see [`simd`]):
+    /// [`simd::active_tier`] by default, [`KernelTier::Scalar`] on the
+    /// simd-off A/B arm (the frozen PR 5 dispatch) and whenever
+    /// `branch_free` is off.
+    tier: KernelTier,
     /// Deferred singleton (branch-free arm only): every other insert
     /// parks its item here in O(1) instead of materializing a
     /// capacity-1 block, and the next insert merges the pair straight
@@ -79,9 +94,11 @@ impl Default for Lsm {
         Self {
             blocks: VecDeque::new(),
             heads: Vec::new(),
+            head_keys: Vec::new(),
             len: 0,
             pool: BlockPool::new(),
             branch_free: true,
+            tier: simd::active_tier(),
             staged: None,
         }
     }
@@ -110,8 +127,35 @@ impl Lsm {
     pub fn with_kernels_disabled() -> Self {
         Self {
             branch_free: false,
+            tier: KernelTier::Scalar,
             ..Self::default()
         }
+    }
+
+    /// Create an empty LSM with the scalar kernel tier pinned: the full
+    /// PR 5 branch-free dispatch (bidirectional merge, loser tree,
+    /// branchless argmin) but none of the SIMD kernels. The "simd off"
+    /// arm of the `lsm_kernels` ablation.
+    pub fn with_simd_disabled() -> Self {
+        Self::with_tier(KernelTier::Scalar)
+    }
+
+    /// Create an empty LSM dispatching an explicit kernel tier, clamped
+    /// to what the running CPU supports. Lets one process exercise
+    /// several tiers side by side (the forced-tier equivalence tests);
+    /// production construction uses [`Lsm::new`], which dispatches
+    /// [`simd::active_tier`].
+    pub fn with_tier(tier: KernelTier) -> Self {
+        let hw = KernelTier::detect_hw();
+        Self {
+            tier: tier.min(hw),
+            ..Self::default()
+        }
+    }
+
+    /// The SIMD kernel tier this LSM dispatches.
+    pub fn kernel_tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// Build an LSM holding `items` (need not be sorted) as a single
@@ -120,6 +164,15 @@ impl Lsm {
     pub fn from_items(mut items: Vec<Item>) -> Self {
         kernels::sort_items(&mut items);
         Self::from_sorted(items)
+    }
+
+    /// As [`Lsm::from_items`] at an explicit kernel tier (clamped to
+    /// hardware support), covering the batch-sort path too.
+    pub fn from_items_tier(mut items: Vec<Item>, tier: KernelTier) -> Self {
+        let mut lsm = Self::with_tier(tier);
+        kernels::sort_items_tier(&mut items, lsm.tier);
+        lsm.rebuild_from_sorted(items);
+        lsm
     }
 
     /// Build an LSM from already-sorted items as a single block.
@@ -159,7 +212,7 @@ impl Lsm {
     pub fn pop_largest_block(&mut self) -> Option<Vec<Item>> {
         let block = self.blocks.pop_front()?;
         // Front-shift of at most ~log n cached heads; eviction is rare.
-        self.heads.remove(0);
+        self.heads_remove(0);
         self.len -= block.len();
         Some(block.into_sorted_items())
     }
@@ -180,7 +233,7 @@ impl Lsm {
             0 => return Vec::new(),
             1 => {
                 let block = self.blocks.pop_back().expect("one block");
-                self.heads.clear();
+                self.heads_clear();
                 self.len = 0;
                 return block.into_sorted_items();
             }
@@ -226,7 +279,7 @@ impl Lsm {
             let block = self.blocks.pop_back().expect("counted");
             self.pool.release(block.into_buffer());
         }
-        self.heads.clear();
+        self.heads_clear();
         self.len = 0;
         out
     }
@@ -238,13 +291,14 @@ impl Lsm {
         while let Some(block) = self.blocks.pop_back() {
             self.pool.release(block.into_buffer());
         }
-        self.heads.clear();
+        self.heads_clear();
         self.staged = None;
         self.len = items.len();
         if !items.is_empty() {
             let block = Block::from_sorted(items);
-            self.heads.push(block.head());
+            let head = block.head();
             self.blocks.push_back(block);
+            self.heads_push(head);
         }
         debug_assert!(self.check_invariants());
     }
@@ -256,7 +310,7 @@ impl Lsm {
         if let Some(item) = self.staged.take() {
             let singleton = Block::singleton_from(&mut self.pool, item);
             self.blocks.push_back(singleton);
-            self.heads.push(item);
+            self.heads_push(item);
             self.restore_distinct_capacities();
         }
     }
@@ -275,8 +329,9 @@ impl Lsm {
         }
         self.len += items.len();
         let block = Block::from_sorted(items);
-        self.heads.push(block.head());
+        let head = block.head();
         self.blocks.push_back(block);
+        self.heads_push(head);
         self.restore_distinct_capacities();
     }
 
@@ -319,8 +374,9 @@ impl Lsm {
         self.pool.release(all);
         self.len = keep.len();
         let block = Block::from_sorted(keep);
-        self.heads.push(block.head());
+        let head = block.head();
         self.blocks.push_back(block);
+        self.heads_push(head);
         debug_assert!(self.check_invariants());
         steal
     }
@@ -349,18 +405,19 @@ impl Lsm {
         // Carry the merged block in a local across cascade levels
         // instead of round-tripping it through the deques at each one.
         let mut carried = self.blocks.pop_back().expect("len >= 2");
-        let mut carried_head = self.heads.pop().expect("mirrors blocks");
+        let mut carried_head = self.heads_pop().expect("mirrors blocks");
         while let Some(prev) = self.blocks.back() {
             if prev.capacity() > carried.capacity() {
                 break;
             }
             let prev = self.blocks.pop_back().expect("checked non-empty");
-            let prev_head = self.heads.pop().expect("mirrors blocks");
+            let prev_head = self.heads_pop().expect("mirrors blocks");
             carried_head = carried_head.min(prev_head);
-            carried = Block::merge_with(prev, carried, &mut self.pool, self.branch_free);
+            carried =
+                Block::merge_with(prev, carried, &mut self.pool, self.branch_free, self.tier);
         }
         self.blocks.push_back(carried);
-        self.heads.push(carried_head);
+        self.heads_push(carried_head);
         debug_assert!(self.check_invariants());
     }
 
@@ -377,12 +434,49 @@ impl Lsm {
             && self.blocks[idx + 1].capacity() >= self.blocks[idx].capacity()
         {
             let right = self.blocks.remove(idx + 1).expect("index in range");
-            self.heads.remove(idx + 1);
+            self.heads_remove(idx + 1);
             let left = std::mem::replace(&mut self.blocks[idx], Block::placeholder());
-            self.blocks[idx] = Block::merge_with(left, right, &mut self.pool, self.branch_free);
-            self.heads[idx] = self.blocks[idx].head();
+            self.blocks[idx] =
+                Block::merge_with(left, right, &mut self.pool, self.branch_free, self.tier);
+            let head = self.blocks[idx].head();
+            self.heads_set(idx, head);
         }
         debug_assert!(self.check_invariants());
+    }
+
+    /// Append a head to both mirrors.
+    #[inline]
+    fn heads_push(&mut self, item: Item) {
+        self.heads.push(item);
+        self.head_keys.push(item.key);
+    }
+
+    /// Pop the tail head from both mirrors.
+    #[inline]
+    fn heads_pop(&mut self) -> Option<Item> {
+        self.head_keys.pop();
+        self.heads.pop()
+    }
+
+    /// Remove `heads[idx]` from both mirrors.
+    #[inline]
+    fn heads_remove(&mut self, idx: usize) {
+        self.heads.remove(idx);
+        self.head_keys.remove(idx);
+    }
+
+    /// Overwrite `heads[idx]` in both mirrors.
+    #[inline]
+    fn heads_set(&mut self, idx: usize, item: Item) {
+        self.heads[idx] = item;
+        self.head_keys[idx] = item.key;
+    }
+
+    /// Clear both mirrors.
+    #[inline]
+    fn heads_clear(&mut self) {
+        self.heads.clear();
+        self.head_keys.clear();
     }
 
     /// Verify the paper's structural invariants (tests only):
@@ -406,7 +500,13 @@ impl Lsm {
                 .heads
                 .iter()
                 .zip(self.blocks.iter())
-                .all(|(&h, b)| b.peek() == Some(h));
+                .all(|(&h, b)| b.peek() == Some(h))
+            && self.head_keys.len() == self.heads.len()
+            && self
+                .head_keys
+                .iter()
+                .zip(self.heads.iter())
+                .all(|(&k, h)| k == h.key);
         let staged_ok = self.staged.is_none() || self.branch_free;
         caps_decreasing && fill_ok && len_ok && heads_ok && staged_ok
     }
@@ -429,7 +529,7 @@ impl SequentialPq for Lsm {
                     buf.push(lo);
                     buf.push(hi);
                     self.blocks.push_back(Block::from_sorted(buf));
-                    self.heads.push(lo);
+                    self.heads_push(lo);
                     self.restore_distinct_capacities();
                 }
             }
@@ -441,7 +541,7 @@ impl SequentialPq for Lsm {
         // the hottest cascade level.
         if self.blocks.back().is_some_and(|b| b.capacity() == 1) {
             let old = self.blocks.pop_back().expect("checked non-empty");
-            self.heads.pop();
+            self.heads_pop();
             let prev = old.head();
             let (lo, hi) = if item <= prev { (item, prev) } else { (prev, item) };
             let mut buf = self.pool.acquire(2);
@@ -449,12 +549,12 @@ impl SequentialPq for Lsm {
             buf.push(hi);
             self.pool.release(old.into_buffer());
             self.blocks.push_back(Block::from_sorted(buf));
-            self.heads.push(lo);
+            self.heads_push(lo);
             self.restore_distinct_capacities();
         } else {
             let singleton = Block::singleton_from(&mut self.pool, item);
             self.blocks.push_back(singleton);
-            self.heads.push(item);
+            self.heads_push(item);
         }
     }
 
@@ -471,7 +571,7 @@ impl SequentialPq for Lsm {
             return None;
         }
         let idx = if self.branch_free {
-            kernels::argmin(&self.heads)
+            simd::argmin(self.tier, &self.head_keys, &self.heads)
         } else {
             let mut best = self.heads[0];
             let mut idx = 0;
@@ -499,13 +599,15 @@ impl SequentialPq for Lsm {
         self.len -= 1;
         if block.is_empty() {
             let empty = self.blocks.remove(idx).expect("index in range");
-            self.heads.remove(idx);
+            self.heads_remove(idx);
             self.pool.release(empty.into_buffer());
         } else {
             // The winner's next head sits adjacent to the popped item —
             // almost always the same cache line.
-            self.heads[idx] = block.head();
-            if 2 * block.len() <= block.capacity() {
+            let head = block.head();
+            let needs_shrink = 2 * block.len() <= block.capacity();
+            self.heads_set(idx, head);
+            if needs_shrink {
                 self.shrink_at(idx);
             }
         }
@@ -528,7 +630,7 @@ impl SequentialPq for Lsm {
         while let Some(block) = self.blocks.pop_back() {
             self.pool.release(block.into_buffer());
         }
-        self.heads.clear();
+        self.heads_clear();
         self.staged = None;
         self.len = 0;
     }

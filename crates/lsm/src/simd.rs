@@ -1,0 +1,1541 @@
+//! Runtime-dispatched SIMD kernels: vector merge, wide argmin, and
+//! vector compare-exchange lanes for the sorting networks.
+//!
+//! PR 5 established that the branch-free scalar kernels are limited by
+//! instruction-level parallelism, not branches — the bidirectional
+//! two-chain merge won 1.2–1.9× purely by running two independent
+//! dependency chains. This module converts that headroom into data
+//! parallelism with explicit `core::arch::x86_64` kernels over the
+//! 16-byte `Item` (two `u64`s compared lexicographically), giving 2
+//! lanes per ymm (AVX2) and 4 lanes per zmm (AVX-512):
+//!
+//! * **Vector merge** ([`merge_simd_append`]), three regimes:
+//!   *small* merges (combined size within
+//!   [`KernelTier::small_merge_cap`]) build one bitonic lane image
+//!   with masked sentinel-filled loads and run a single in-register
+//!   bitonic network — no loop at all; *mid* sizes run the streaming
+//!   register-resident chunked bitonic merge (after Chhugani et al.) —
+//!   a carry of the [`KernelTier::merge_chunk`] largest in-flight
+//!   items lives in registers, each round refills — reversed — from
+//!   whichever input's head is smaller (branchless pointer select) and
+//!   runs the full network; *large* merges (≥ [`CHAINS_MIN`]) split at
+//!   the merge-path midpoint (cf. the merge-path bulk operations of
+//!   arXiv:2504.11652) and run the two halves as interleaved chains,
+//!   because one chain alone is latency-bound: its carry feeds the
+//!   next round through the full network depth, and two independent
+//!   dependency chains fill those bubbles — the same trick that won
+//!   PR 5's bidirectional scalar merge.
+//! * **Wide argmin** ([`argmin`]): `vpminuq` vertical min over the
+//!   queue's keys-only `head_keys` mirror — eight candidate keys per
+//!   plain 512-bit load, no key-extraction shuffles — with a masked
+//!   sentinel-filled tail load, a three-round broadcast-reduce, and an
+//!   equality re-scan that recovers the *first* index via a compare
+//!   mask, falling back to the item-level scan only when a duplicated
+//!   minimum key needs the lexicographic tie-break. Replaces the
+//!   serial conditional-move chain of `kernels::argmin` on the dense
+//!   `heads` mirror.
+//! * **Vector compare-exchange spans** ([`cex_span`]): one
+//!   `vpcmpuq`/blend pair handles 2 (AVX2) or 4 (AVX-512) packed
+//!   `u128` lanes, re-arming the Batcher sorting networks and the
+//!   chunked-bitonic ablation tier in [`crate::kernels`] — every
+//!   network stage is a set of disjoint `(i, i+k)` spans, which map
+//!   directly onto vertical vector compare-exchanges.
+//!
+//! # Dispatch
+//!
+//! The tier is selected once at queue construction ([`active_tier`]):
+//! `is_x86_feature_detected!` picks the best of scalar → AVX2 →
+//! AVX-512 (`avx512f/bw/dq/vl`), and the `LSM_FORCE_KERNEL_TIER`
+//! environment variable (`scalar|avx2|avx512`) forces a lower tier for
+//! tests, benches, and deterministic CI (forcing a tier the host
+//! cannot run clamps down with a warning rather than crashing). All
+//! vector code is `cfg`-gated to `x86_64`; every other target compiles
+//! to the scalar kernels unconditionally. The PR 5 scalar kernels
+//! remain the always-available fallback and the `simd-off` A/B arm
+//! ([`crate::Lsm::with_simd_disabled`]).
+//!
+//! Production dispatch was settled the PR 5 way — whole-queue
+//! interleaved A/B in the `lsm_kernels` bench, not raw microbenches
+//! (see EXPERIMENTS.md "SIMD kernel ablation" for the
+//! predictor-memorization caveat and the recorded numbers). On the
+//! measured host the A/B kept *every* production path scalar: the
+//! merge kernels are port-5 throughput-bound and lose to the
+//! bidirectional two-chain scalar merge outright, and the wide argmin
+//! — despite winning the standalone throughput microbench 1.4–2.7× —
+//! loses in-queue because its ~25-cycle reduce chain sits on
+//! `delete_min`'s serial critical path while the head mirror never
+//! grows past ~20 entries (see [`SIMD_ARGMIN_MIN`] and
+//! [`KernelTier::merge_profitable`]). Every vector kernel remains a
+//! tested, telemetered ablation arm reachable via forced tiers; kernel
+//! selection is observable through the `lsm_kernel_simd_merge_hits` /
+//! `lsm_kernel_simd_argmin_hits` / `lsm_kernel_simd_cex_hits`
+//! telemetry counters.
+//!
+//! # Layout contract
+//!
+//! The kernels load `Item` arrays straight into vector registers —  no
+//! pack/unpack shifts on the merge path — relying on `Item` being
+//! `repr(C)` with `key` at offset 0 and `value` at offset 8. Within a
+//! 128-bit lane the *low* `u64` element is therefore the primary sort
+//! key; the packed-`u128` network buffers of [`crate::kernels`] keep
+//! the key in the *high* element. Both comparison orders are
+//! implemented; the compile-time asserts below pin the layout.
+
+use crate::kernels::{self, Lane};
+use pq_traits::{telemetry, Item};
+
+const _: () = {
+    assert!(core::mem::size_of::<Item>() == 16);
+    assert!(core::mem::align_of::<Item>() == 8);
+    assert!(core::mem::offset_of!(Item, key) == 0);
+    assert!(core::mem::offset_of!(Item, value) == 8);
+};
+
+/// Kernel tier dispatched by an LSM instance. Ordered: a tier can run
+/// every kernel of the tiers below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelTier {
+    /// The PR 5 branch-free scalar kernels (always available; the
+    /// `simd-off` A/B arm and the only tier on non-x86_64 targets).
+    Scalar,
+    /// 256-bit kernels: 2 item lanes per ymm (`avx2`).
+    Avx2,
+    /// 512-bit kernels: 4 item lanes per zmm (`avx512f/bw/dq/vl`).
+    Avx512,
+}
+
+impl KernelTier {
+    /// Stable lowercase name, also the accepted `LSM_FORCE_KERNEL_TIER`
+    /// values and the `simd_tier` string in `--metrics` JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse a [`KernelTier::name`] string.
+    pub fn parse(s: &str) -> Option<KernelTier> {
+        match s {
+            "scalar" => Some(KernelTier::Scalar),
+            "avx2" => Some(KernelTier::Avx2),
+            "avx512" => Some(KernelTier::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Best tier the running CPU supports (ignores the env override).
+    pub fn detect_hw() -> KernelTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return KernelTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelTier::Avx2;
+            }
+        }
+        KernelTier::Scalar
+    }
+
+    /// `true` if the running CPU can execute this tier's kernels.
+    pub fn available(self) -> bool {
+        self <= KernelTier::detect_hw()
+    }
+
+    /// Runtime-detected CPU feature names relevant to kernel dispatch,
+    /// in a fixed order, for embedding in benchmark metadata. Empty on
+    /// non-x86_64 targets (the dispatch is scalar-only there).
+    pub fn detected_cpu_features() -> Vec<&'static str> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut out = Vec::new();
+            macro_rules! probe {
+                ($($f:tt),*) => {
+                    $(if std::arch::is_x86_feature_detected!($f) {
+                        out.push($f);
+                    })*
+                };
+            }
+            probe!("sse4.2", "avx", "avx2", "avx512f", "avx512bw", "avx512dq", "avx512vl");
+            out
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Every tier the running CPU supports, lowest first. The forced-
+    /// tier equivalence tests iterate this so they exercise exactly the
+    /// kernels the host can run.
+    pub fn available_tiers() -> Vec<KernelTier> {
+        [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512]
+            .into_iter()
+            .filter(|t| t.available())
+            .collect()
+    }
+
+    /// Items per merge chunk of the streaming vector merge: one chunk
+    /// is two registers ([`merge_simd_append`] keeps a two-register
+    /// carry and runs a `2 × chunk`-lane network per round).
+    pub fn merge_chunk(self) -> usize {
+        match self {
+            KernelTier::Scalar => usize::MAX, // never viable
+            KernelTier::Avx2 => 4,
+            KernelTier::Avx512 => 8,
+        }
+    }
+
+    /// Largest combined merge size handled entirely in registers by the
+    /// small-merge kernels (one masked load per input register, one
+    /// bitonic network, masked stores — no loop at all).
+    pub fn small_merge_cap(self) -> usize {
+        match self {
+            KernelTier::Scalar => 0,
+            KernelTier::Avx2 => 8,
+            KernelTier::Avx512 => 16,
+        }
+    }
+
+    /// `true` if [`merge_simd_append`] covers a merge of two runs of
+    /// these lengths on this tier: either the whole merge fits the
+    /// in-register small kernel, or both sides can supply at least one
+    /// full streaming chunk. The scalar tier never routes here.
+    pub fn merge_viable(self, la: usize, lb: usize) -> bool {
+        self != KernelTier::Scalar
+            && (la + lb <= self.small_merge_cap()
+                || (la >= self.merge_chunk() && lb >= self.merge_chunk()))
+    }
+
+    /// `true` if the *production* queue routes a merge of these
+    /// lengths to the vector kernel — the subset of [`merge_viable`]
+    /// shapes where the whole-queue interleaved A/B measured a win
+    /// (see EXPERIMENTS.md "SIMD kernel ablation"). On the measured
+    /// host that subset is *empty*: the streaming and two-chain
+    /// merges are port-5 throughput-bound (every `vpcmpuq` and lane
+    /// shuffle competes for one port) and lose 0.43–0.73× to the
+    /// bidirectional scalar merge at every size, and the in-register
+    /// small kernels peak at ~1.05× standalone over too narrow a
+    /// window to survive the whole-queue A/B (0.96–0.99×). All vector
+    /// merge kernels are retained as tested, telemetered ablation
+    /// arms reachable through [`merge_viable`] + [`merge_simd_append`]
+    /// rather than production paths; a host whose A/B clears the
+    /// `lsm_kernels` gate can re-open the window here.
+    pub fn merge_profitable(self, la: usize, lb: usize) -> bool {
+        let _ = (self, la, lb);
+        false
+    }
+}
+
+/// Tier forced or detected for this process: `LSM_FORCE_KERNEL_TIER`
+/// when set (clamped to what the CPU supports, with a one-time warning
+/// if clamping or parsing had to intervene), the hardware detection
+/// result otherwise. Cached — construction-time queries after the first
+/// are a single atomic load.
+pub fn active_tier() -> KernelTier {
+    static ACTIVE: std::sync::OnceLock<KernelTier> = std::sync::OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let hw = KernelTier::detect_hw();
+        match std::env::var("LSM_FORCE_KERNEL_TIER") {
+            Ok(raw) => match KernelTier::parse(&raw) {
+                Some(forced) if forced <= hw => forced,
+                Some(forced) => {
+                    eprintln!(
+                        "lsm: LSM_FORCE_KERNEL_TIER={} not supported by this CPU \
+                         (detected {}), clamping",
+                        forced.name(),
+                        hw.name()
+                    );
+                    hw
+                }
+                None => {
+                    eprintln!(
+                        "lsm: ignoring invalid LSM_FORCE_KERNEL_TIER='{raw}' \
+                         (expected scalar|avx2|avx512), using detected {}",
+                        hw.name()
+                    );
+                    hw
+                }
+            },
+            Err(_) => hw,
+        }
+    })
+}
+
+/// Smallest `heads` length routed to the wide argmin on the AVX-512
+/// tier: the measured *serial-latency* crossover. The vector kernel
+/// wins the standalone throughput microbench from ~13 keys up
+/// (1.4–2.7×, iterations pipeline), but inside `delete_min` each call
+/// sits on the op-to-op critical path, where what counts is the
+/// ~25-cycle load → `vpminuq` → three-round broadcast-reduce →
+/// mask-compare → `kmov`+`tzcnt` dependency chain — longer than the
+/// scalar conditional-move scan (≈ n cycles) until roughly two dozen
+/// heads. The whole-queue interleaved A/B confirmed it: gating at 8
+/// lost 14–18% of steady throughput at sizes 100k–1M. The mirror
+/// holds at most ⌈log₂ n⌉ + 1 heads (≈ 21 at a million items), so on
+/// realistic sizes this threshold never fires and production argmin
+/// is effectively scalar on the measured host; the vector kernels
+/// stay reachable as forced ablation arms via [`argmin_forced`]. The
+/// AVX2 tier is worse still — without `vpminuq` its vertical min is a
+/// three-op compare+blend — and has no profitable length at all.
+pub const SIMD_ARGMIN_MIN: usize = 24;
+
+/// Branch-free argmin over a non-empty item slice and its keys-only
+/// twin (`keys[i] == items[i].key`, the queue's `head_keys` mirror):
+/// index of the smallest item, first occurrence on ties — bit-for-bit
+/// the contract of [`kernels::argmin`], which remains both the scalar
+/// tier and the short-slice fallback. The vector tiers reduce over the
+/// dense key array (eight candidates per 512-bit load, no lane
+/// shuffles) and only touch `items` when a duplicated minimum key
+/// forces a lexicographic tie-break.
+#[inline]
+pub fn argmin(tier: KernelTier, keys: &[u64], items: &[Item]) -> usize {
+    debug_assert!(!items.is_empty());
+    debug_assert_eq!(keys.len(), items.len());
+    if tier == KernelTier::Avx512 && items.len() >= SIMD_ARGMIN_MIN {
+        return argmin_forced(tier, keys, items);
+    }
+    let _ = (tier, keys);
+    kernels::argmin(items)
+}
+
+/// Dispatch straight to the tier's vector argmin with no length
+/// cutoff. The equivalence tests and the kernel probe use this to
+/// exercise the vector kernels below [`SIMD_ARGMIN_MIN`]; production
+/// code goes through [`argmin`].
+#[doc(hidden)]
+pub fn argmin_forced(tier: KernelTier, keys: &[u64], items: &[Item]) -> usize {
+    debug_assert!(!items.is_empty());
+    debug_assert_eq!(keys.len(), items.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if items.len() >= 2 {
+            match tier {
+                KernelTier::Avx512 => {
+                    telemetry::record_quiet(telemetry::Event::LsmKernelSimdArgminHit);
+                    // SAFETY: tier dispatch guarantees the features.
+                    return unsafe { x86::argmin_keys_avx512(keys, items) };
+                }
+                KernelTier::Avx2 => {
+                    telemetry::record_quiet(telemetry::Event::LsmKernelSimdArgminHit);
+                    // SAFETY: tier dispatch guarantees the features.
+                    return unsafe { x86::argmin_keys_avx2(keys, items) };
+                }
+                KernelTier::Scalar => {}
+            }
+        }
+    }
+    let _ = (tier, keys);
+    kernels::argmin(items)
+}
+
+/// Combined merge size at or above which the AVX-512 path splits the
+/// merge at its midpoint (merge-path partition) and runs the two
+/// halves as *interleaved* register chains. One chain's bitonic
+/// network is a serial dependency (the carry feeds the next round
+/// through the full network depth); two independent chains fill the
+/// latency bubbles, exactly the trick that won PR 5's bidirectional
+/// scalar merge. Below this the split/tail overhead doesn't pay.
+pub const CHAINS_MIN: usize = 64;
+
+/// Merge-path partition: smallest `i` (ties drawn from `a` first) such
+/// that `a[..i]` and `b[..k-i]` are exactly the `k` smallest items of
+/// the merge under the stable "take `a` on ties" order of
+/// [`kernels::scalar_merge_append`]. Returns `(i, k - i)`.
+#[cfg(target_arch = "x86_64")]
+fn merge_path_split(a: &[Item], b: &[Item], k: usize) -> (usize, usize) {
+    let (na, nb) = (a.len(), b.len());
+    debug_assert!(k <= na + nb);
+    let mut lo = k.saturating_sub(nb);
+    let mut hi = k.min(na);
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = k - i;
+        // `a[i]` still belongs to the first `k` while some `b[j-1] >=
+        // a[i]` is counted there in its place.
+        if i < na && j > 0 && b[j - 1] >= a[i] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    let (i, j) = (lo, k - lo);
+    debug_assert!(i == 0 || j == nb || a[i - 1] <= b[j]);
+    debug_assert!(j == 0 || i == na || b[j - 1] < a[i]);
+    (i, j)
+}
+
+/// Vector merge of two sorted runs, appended to `out`. Requires
+/// [`KernelTier::merge_viable`]. Three regimes (AVX-512; AVX2 has the
+/// first two): combined size within [`KernelTier::small_merge_cap`]
+/// runs one in-register bitonic network over masked sentinel-filled
+/// loads; mid sizes run the streaming single-chain register merge;
+/// sizes at or past [`CHAINS_MIN`] split at the merge-path midpoint
+/// into two interleaved chains. Tails shorter than a chunk finish
+/// through a stack buffer with the scalar cursor kernel — no heap
+/// traffic. Output is byte-identical to
+/// [`kernels::scalar_merge_append`].
+pub fn merge_simd_append(tier: KernelTier, a: &[Item], b: &[Item], out: &mut Vec<Item>) {
+    debug_assert!(tier.merge_viable(a.len(), b.len()));
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    telemetry::record_quiet(telemetry::Event::LsmKernelSimdMergeHit);
+    #[cfg(target_arch = "x86_64")]
+    {
+        let total = a.len() + b.len();
+        let base = out.len();
+        out.reserve(total);
+        // SAFETY: tier dispatch guarantees the features; merge_viable
+        // guarantees the small kernel fits or both runs hold at least
+        // one full chunk; `out` has `total` reserved slots which every
+        // kernel below fills exactly.
+        unsafe {
+            let po = out.as_mut_ptr().add(base);
+            match tier {
+                KernelTier::Avx512 => {
+                    if total <= KernelTier::Avx512.small_merge_cap() {
+                        x86::merge_small_avx512(a, b, po);
+                    } else if total >= CHAINS_MIN {
+                        let (i, j) = merge_path_split(a, b, total / 2);
+                        x86::merge_segment_pair_avx512(
+                            &a[..i],
+                            &b[..j],
+                            po,
+                            &a[i..],
+                            &b[j..],
+                            po.add(total / 2),
+                        );
+                    } else {
+                        x86::merge_segment_avx512(a, b, po);
+                    }
+                }
+                KernelTier::Avx2 => {
+                    if total <= KernelTier::Avx2.small_merge_cap() {
+                        x86::merge_small_avx2(a, b, po);
+                    } else {
+                        x86::merge_segment_avx2(a, b, po);
+                    }
+                }
+                KernelTier::Scalar => unreachable!("merge_viable excludes the scalar tier"),
+            }
+            out.set_len(base + total);
+        }
+        debug_assert!(out[base..].windows(2).all(|w| w[0] <= w[1]));
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // Unreachable: merge_viable is false for every tier off x86_64.
+        let _ = (a, b, out);
+        unreachable!("no SIMD tier exists off x86_64")
+    }
+}
+
+/// Vertical compare-exchange span over packed [`Lane`]s: for `t` in
+/// `0..n`, order `buf[i + t] <= buf[j + t]`. Spans must be disjoint
+/// (`j >= i + n`), which every Batcher/bitonic network stage satisfies.
+/// The scalar tier (and sub-vector remainders) run the plain `u128`
+/// min/max compare-exchange.
+#[inline]
+pub(crate) fn cex_span(tier: KernelTier, buf: &mut [Lane], i: usize, j: usize, n: usize) {
+    debug_assert!(j >= i + n, "overlapping cex span");
+    debug_assert!(j + n <= buf.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier {
+            // SAFETY: tier dispatch guarantees the features; bounds
+            // checked by the debug_asserts above and the callers'
+            // network schedules.
+            KernelTier::Avx512 if n >= 4 => unsafe {
+                return x86::cex_span_avx512(buf.as_mut_ptr(), i, j, n);
+            },
+            KernelTier::Avx2 if n >= 2 => unsafe {
+                return x86::cex_span_avx2(buf.as_mut_ptr(), i, j, n);
+            },
+            _ => {}
+        }
+    }
+    let _ = tier;
+    for t in 0..n {
+        let (x, y) = (buf[i + t], buf[j + t]);
+        buf[i + t] = x.min(y);
+        buf[j + t] = x.max(y);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The raw vector kernels. Everything here is `unsafe` and
+    //! `target_feature`-gated; the safe dispatchers in the parent
+    //! module guarantee the features before calling in.
+    //!
+    //! Two lane orders appear (see the module-level layout contract):
+    //! raw `Item` loads carry the key in the *low* `u64` of each
+    //! 128-bit lane, packed [`Lane`] buffers carry it in the *high*
+    //! element. The `lt_*` helpers encode the lexicographic
+    //! `(key, value)` compare for each order: per-`u64` unsigned
+    //! compares combined as `key_lt | (key_eq & value_lt)`.
+
+    use super::{Item, Lane};
+    use core::arch::x86_64::*;
+
+    pub(super) const SENTINEL: Item = Item::new(u64::MAX, u64::MAX);
+
+    // ---------------------------------------------------------- AVX2
+
+    /// Per-128-bit-lane `a < b` (all-ones / all-zeros), raw `Item`
+    /// order: primary = low `u64` (key), secondary = high (value).
+    /// AVX2 has no unsigned 64-bit compare, so both operands are
+    /// sign-bias-flipped and compared signed.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn lt_items_avx2(a: __m256i, b: __m256i) -> __m256i {
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let ltu = _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign), _mm256_xor_si256(a, sign));
+        let eq = _mm256_cmpeq_epi64(a, b);
+        let lt_key = _mm256_shuffle_epi32::<0x44>(ltu); // broadcast low u64
+        let eq_key = _mm256_shuffle_epi32::<0x44>(eq);
+        let lt_val = _mm256_shuffle_epi32::<0xEE>(ltu); // broadcast high u64
+        _mm256_or_si256(lt_key, _mm256_and_si256(eq_key, lt_val))
+    }
+
+    /// As [`lt_items_avx2`] for packed [`Lane`]s: primary = high `u64`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn lt_packed_avx2(a: __m256i, b: __m256i) -> __m256i {
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let ltu = _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign), _mm256_xor_si256(a, sign));
+        let eq = _mm256_cmpeq_epi64(a, b);
+        let lt_key = _mm256_shuffle_epi32::<0xEE>(ltu);
+        let eq_key = _mm256_shuffle_epi32::<0xEE>(eq);
+        let lt_val = _mm256_shuffle_epi32::<0x44>(ltu);
+        _mm256_or_si256(lt_key, _mm256_and_si256(eq_key, lt_val))
+    }
+
+    /// Vertical compare-exchange of two registers of raw items:
+    /// returns `(min, max)` per 128-bit lane. Ties keep `b` in the min
+    /// slot — equal items are bit-identical, so the output bytes match
+    /// the scalar kernels either way.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cex_items_avx2(a: __m256i, b: __m256i) -> (__m256i, __m256i) {
+        let lt = lt_items_avx2(a, b);
+        (
+            _mm256_blendv_epi8(b, a, lt),
+            _mm256_blendv_epi8(a, b, lt),
+        )
+    }
+
+    /// In-register compare-exchange of the two 128-bit lanes: result
+    /// low lane = min, high lane = max.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cex_within_avx2(v: __m256i) -> __m256i {
+        let s = _mm256_permute2x128_si256::<0x01>(v, v);
+        let lt = lt_items_avx2(v, s);
+        let mn = _mm256_blendv_epi8(s, v, lt);
+        let mx = _mm256_blendv_epi8(v, s, lt);
+        _mm256_blend_epi32::<0xF0>(mn, mx)
+    }
+
+    /// Unsigned 64-bit vertical min. AVX2 has no `vpminuq`, so this is
+    /// the classic three-op emulation: bias both sides into signed
+    /// range, signed compare, blend.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn min_epu64_avx2(a: __m256i, b: __m256i) -> __m256i {
+        let bias = _mm256_set1_epi64x(i64::MIN);
+        let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias), _mm256_xor_si256(b, bias));
+        _mm256_blendv_epi8(a, b, gt)
+    }
+
+    /// Wide argmin over the keys-only head mirror, 4 keys per step:
+    /// vertical [`min_epu64_avx2`], horizontal reduce through a stack
+    /// spill, then an equality re-scan recovering the first matching
+    /// index (and the match count) via `movmskpd`. A duplicated
+    /// minimum key falls back to the scalar item scan for the
+    /// lexicographic tie-break.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn argmin_keys_avx2(keys: &[u64], items: &[Item]) -> usize {
+        let n = keys.len();
+        debug_assert!(n >= 2 && n == items.len());
+        let p = keys.as_ptr();
+        let mut m = _mm256_set1_epi64x(-1); // u64::MAX fill
+        let mut i = 0usize;
+        while i + 4 <= n {
+            m = min_epu64_avx2(m, _mm256_loadu_si256(p.add(i).cast()));
+            i += 4;
+        }
+        let mut best = u64::MAX;
+        while i < n {
+            best = best.min(*p.add(i));
+            i += 1;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), m);
+        for &l in &lanes {
+            best = best.min(l);
+        }
+        // Re-scan for the first key equal to `best`, counting matches
+        // so a duplicated min key can bail to the scalar tie-break.
+        let pat = _mm256_set1_epi64x(best as i64);
+        let mut first = usize::MAX;
+        let mut cnt = 0u32;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm256_loadu_si256(p.add(i).cast());
+            let eq = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, pat))) as u32;
+            cnt += eq.count_ones();
+            if first == usize::MAX && eq != 0 {
+                first = i + eq.trailing_zeros() as usize;
+            }
+            i += 4;
+        }
+        while i < n {
+            if *p.add(i) == best {
+                cnt += 1;
+                if first == usize::MAX {
+                    first = i;
+                }
+            }
+            i += 1;
+        }
+        if cnt == 1 {
+            first
+        } else {
+            super::kernels::argmin(items)
+        }
+    }
+
+    /// Load one chunk (4 items, two ymm) *reversed*, making it the
+    /// descending half of a bitonic sequence.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_rev4_avx2(p: *const __m256i) -> (__m256i, __m256i) {
+        let v0 = _mm256_loadu_si256(p.cast()); // items 0,1
+        let v1 = _mm256_loadu_si256(p.add(1).cast()); // items 2,3
+        (
+            _mm256_permute2x128_si256::<0x01>(v1, v1), // 3,2
+            _mm256_permute2x128_si256::<0x01>(v0, v0), // 1,0
+        )
+    }
+
+    /// Scalar cursor merge (ties take `a`) writing exactly
+    /// `a.len() + b.len()` items at `po`. Segment tails and thin
+    /// merge-path segments come through here.
+    unsafe fn scalar_merge_ptr(a: &[Item], b: &[Item], mut po: *mut Item) {
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < a.len() && ib < b.len() {
+            let x = *a.get_unchecked(ia);
+            let y = *b.get_unchecked(ib);
+            let take_a = x <= y;
+            *po = if take_a { x } else { y };
+            po = po.add(1);
+            ia += take_a as usize;
+            ib += !take_a as usize;
+        }
+        core::ptr::copy_nonoverlapping(a.as_ptr().add(ia), po, a.len() - ia);
+        po = po.add(a.len() - ia);
+        core::ptr::copy_nonoverlapping(b.as_ptr().add(ib), po, b.len() - ib);
+    }
+
+    /// Finish a streaming segment once one input can no longer fill a
+    /// chunk: merge the register carry (one sorted chunk of the
+    /// largest unemitted items) with the shorter input remainder
+    /// through a stack buffer, then merge that against the longer
+    /// remainder straight into the output cursor. The shorter
+    /// remainder is below a chunk, so `carry + short <= 15` items and
+    /// the buffer never spills to the heap.
+    #[inline]
+    unsafe fn finish_tail(
+        carry: &[Item],
+        a: &[Item],
+        ia: usize,
+        b: &[Item],
+        ib: usize,
+        po: *mut Item,
+    ) {
+        let (ra, rb) = (&a[ia..], &b[ib..]);
+        let (short, long) = if ra.len() <= rb.len() { (ra, rb) } else { (rb, ra) };
+        let mut buf = [SENTINEL; 15];
+        debug_assert!(carry.len() + short.len() <= buf.len());
+        scalar_merge_ptr(carry, short, buf.as_mut_ptr());
+        scalar_merge_ptr(&buf[..carry.len() + short.len()], long, po);
+    }
+
+    /// Item-granular load/store masks for the AVX2 small-merge kernel
+    /// (`cnt` whole 128-bit item lanes of a ymm).
+    const AVX2_MASKS: [[i64; 4]; 3] = [[0; 4], [-1, -1, 0, 0], [-1; 4]];
+
+    /// Load `cnt` (0..=2) items from `p`, sentinel-filling the rest.
+    /// AVX2's `maskload` zero-fills masked-out lanes, so the fill is
+    /// OR-ed up to the all-ones sentinel the networks expect.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_sent_avx2(p: *const i64, cnt: usize) -> __m256i {
+        let m = _mm256_loadu_si256(AVX2_MASKS[cnt].as_ptr().cast());
+        let v = _mm256_maskload_epi64(p, m);
+        _mm256_or_si256(v, _mm256_andnot_si256(m, _mm256_set1_epi64x(-1)))
+    }
+
+    /// Store the low `cnt` (0..=2) items of `v` at `p`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_cnt_avx2(p: *mut i64, v: __m256i, cnt: usize) {
+        let m = _mm256_loadu_si256(AVX2_MASKS[cnt].as_ptr().cast());
+        _mm256_maskstore_epi64(p, m, v);
+    }
+
+    /// Reverse the two 128-bit item lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rev2_avx2(v: __m256i) -> __m256i {
+        _mm256_permute2x128_si256::<0x01>(v, v)
+    }
+
+    /// In-register merge of two sorted runs with `a.len() + b.len() <=
+    /// 8`: build one bitonic lane image — `a` ascending from lane 0,
+    /// `b` reversed down from the top lane, all-ones sentinel plateau
+    /// between (the occupied lane sets are disjoint, so an AND
+    /// combines them) — run one bitonic merge network, masked-store
+    /// exactly `total` items at `po`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn merge_small_avx2(a: &[Item], b: &[Item], po: *mut Item) {
+        let (la, lb) = (a.len(), b.len());
+        let total = la + lb;
+        debug_assert!(total <= 8);
+        let pa = a.as_ptr() as *const i64;
+        let pb = b.as_ptr() as *const i64;
+        let po = po as *mut i64;
+        if total <= 2 {
+            let v = _mm256_and_si256(load_sent_avx2(pa, la), rev2_avx2(load_sent_avx2(pb, lb)));
+            let v = cex_within_avx2(v);
+            store_cnt_avx2(po, v, total);
+        } else if total <= 4 {
+            let mut r0 = _mm256_and_si256(
+                load_sent_avx2(pa, la.min(2)),
+                rev2_avx2(load_sent_avx2(pb.wrapping_add(4), lb.saturating_sub(2))),
+            );
+            let mut r1 = _mm256_and_si256(
+                load_sent_avx2(pa.wrapping_add(4), la.saturating_sub(2)),
+                rev2_avx2(load_sent_avx2(pb, lb.min(2))),
+            );
+            (r0, r1) = cex_items_avx2(r0, r1);
+            r0 = cex_within_avx2(r0);
+            r1 = cex_within_avx2(r1);
+            store_cnt_avx2(po, r0, 2);
+            store_cnt_avx2(po.wrapping_add(4), r1, total - 2);
+        } else {
+            let mut r0 = _mm256_and_si256(
+                load_sent_avx2(pa, la.min(2)),
+                rev2_avx2(load_sent_avx2(pb.wrapping_add(12), lb.saturating_sub(6))),
+            );
+            let mut r1 = _mm256_and_si256(
+                load_sent_avx2(pa.wrapping_add(4), la.saturating_sub(2).min(2)),
+                rev2_avx2(load_sent_avx2(pb.wrapping_add(8), lb.saturating_sub(4).min(2))),
+            );
+            let mut r2 = _mm256_and_si256(
+                load_sent_avx2(pa.wrapping_add(8), la.saturating_sub(4).min(2)),
+                rev2_avx2(load_sent_avx2(pb.wrapping_add(4), lb.saturating_sub(2).min(2))),
+            );
+            let mut r3 = _mm256_and_si256(
+                load_sent_avx2(pa.wrapping_add(12), la.saturating_sub(6)),
+                rev2_avx2(load_sent_avx2(pb, lb.min(2))),
+            );
+            // 8-lane bitonic merge: distances 4 and 2 vertical,
+            // distance 1 in-register.
+            (r0, r2) = cex_items_avx2(r0, r2);
+            (r1, r3) = cex_items_avx2(r1, r3);
+            (r0, r1) = cex_items_avx2(r0, r1);
+            (r2, r3) = cex_items_avx2(r2, r3);
+            r0 = cex_within_avx2(r0);
+            r1 = cex_within_avx2(r1);
+            r2 = cex_within_avx2(r2);
+            r3 = cex_within_avx2(r3);
+            store_cnt_avx2(po, r0, 2);
+            store_cnt_avx2(po.wrapping_add(4), r1, 2);
+            store_cnt_avx2(po.wrapping_add(8), r2, (total - 4).min(2));
+            store_cnt_avx2(po.wrapping_add(12), r3, total.saturating_sub(6));
+        }
+    }
+
+    /// Streaming single-chain register merge of one segment, AVX2 tier
+    /// (chunk = 4 items over two ymm; an 8-lane bitonic network per
+    /// round): exactly `a.len() + b.len()` items written at `po`. Both
+    /// sides must hold at least one chunk. Each round emits the 4
+    /// smallest unemitted items, carries the 4 largest in registers,
+    /// and refills — reversed — from the input whose next item is
+    /// smaller (branchless pointer select).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn merge_segment_avx2(a: &[Item], b: &[Item], po: *mut Item) {
+        const W: usize = 4;
+        debug_assert!(a.len() >= W && b.len() >= W);
+        let pa = a.as_ptr() as *const __m256i;
+        let pb = b.as_ptr() as *const __m256i;
+        let mut po = po as *mut __m256i;
+        let mut c0 = _mm256_loadu_si256(pa.cast());
+        let mut c1 = _mm256_loadu_si256(pa.add(1).cast());
+        let (mut h0, mut h1) = load_rev4_avx2(pb);
+        let (mut ia, mut ib) = (W, W);
+        loop {
+            (c0, h0) = cex_items_avx2(c0, h0);
+            (c1, h1) = cex_items_avx2(c1, h1);
+            (c0, c1) = cex_items_avx2(c0, c1);
+            (h0, h1) = cex_items_avx2(h0, h1);
+            c0 = cex_within_avx2(c0);
+            c1 = cex_within_avx2(c1);
+            h0 = cex_within_avx2(h0);
+            h1 = cex_within_avx2(h1);
+            _mm256_storeu_si256(po.cast(), c0);
+            _mm256_storeu_si256(po.add(1).cast(), c1);
+            po = po.add(2);
+            if ia + W > a.len() || ib + W > b.len() {
+                break;
+            }
+            (c0, c1) = (h0, h1);
+            let take_a = *a.get_unchecked(ia) <= *b.get_unchecked(ib);
+            let src = if take_a { pa.byte_add(16 * ia) } else { pb.byte_add(16 * ib) };
+            (h0, h1) = load_rev4_avx2(src);
+            ia += W * take_a as usize;
+            ib += W * !take_a as usize;
+        }
+        let mut carry = [SENTINEL; W];
+        let pc = carry.as_mut_ptr() as *mut __m256i;
+        _mm256_storeu_si256(pc.cast(), h0);
+        _mm256_storeu_si256(pc.add(1).cast(), h1);
+        finish_tail(&carry, a, ia, b, ib, po as *mut Item);
+    }
+
+    // ---------------------------------------------------------- AVX-512
+
+    /// Per-128-bit-lane `a < b` as a `u64`-granular blend mask (both
+    /// bits of a winning lane set), raw `Item` order: primary = low
+    /// `u64` of each lane (even mask bits).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn lt_items_mask_avx512(a: __m512i, b: __m512i) -> __mmask8 {
+        let ltu = _mm512_cmplt_epu64_mask(a, b);
+        let eq = _mm512_cmpeq_epi64_mask(a, b);
+        let key = 0x55u8; // even u64 slots hold the keys
+        let lt128 = (ltu & key) | ((eq & key) & ((ltu >> 1) & key));
+        lt128 | (lt128 << 1)
+    }
+
+    /// As [`lt_items_mask_avx512`] for packed [`Lane`]s: primary =
+    /// high `u64` (odd mask bits).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn lt_packed_mask_avx512(a: __m512i, b: __m512i) -> __mmask8 {
+        let ltu = _mm512_cmplt_epu64_mask(a, b);
+        let eq = _mm512_cmpeq_epi64_mask(a, b);
+        let key = 0xAAu8; // odd u64 slots hold the keys
+        let hi = (ltu & key) | ((eq & key) & ((ltu << 1) & key));
+        hi | (hi >> 1)
+    }
+
+    /// Vertical compare-exchange of two zmm of raw items.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn cex_items_avx512(a: __m512i, b: __m512i) -> (__m512i, __m512i) {
+        let lt = lt_items_mask_avx512(a, b);
+        (
+            _mm512_mask_blend_epi64(lt, b, a),
+            _mm512_mask_blend_epi64(lt, a, b),
+        )
+    }
+
+    /// In-register stage at distance 2: compare-exchange lanes (0,2)
+    /// and (1,3); low pair keeps the mins, high pair the maxes.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn cex_d2_avx512(v: __m512i) -> __m512i {
+        let s = _mm512_shuffle_i64x2::<0x4E>(v, v); // lanes [2,3,0,1]
+        let lt = lt_items_mask_avx512(v, s);
+        let mn = _mm512_mask_blend_epi64(lt, s, v);
+        let mx = _mm512_mask_blend_epi64(lt, v, s);
+        _mm512_mask_blend_epi64(0xF0, mn, mx)
+    }
+
+    /// In-register stage at distance 1: compare-exchange lanes (0,1)
+    /// and (2,3); even lanes keep the mins, odd lanes the maxes.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn cex_d1_avx512(v: __m512i) -> __m512i {
+        let s = _mm512_shuffle_i64x2::<0xB1>(v, v); // lanes [1,0,3,2]
+        let lt = lt_items_mask_avx512(v, s);
+        let mn = _mm512_mask_blend_epi64(lt, s, v);
+        let mx = _mm512_mask_blend_epi64(lt, v, s);
+        _mm512_mask_blend_epi64(0xCC, mn, mx)
+    }
+
+    /// Wide argmin over the keys-only head mirror, 8 keys per plain
+    /// 512-bit load: `vpminuq` accumulates the vertical min — a 1-op
+    /// compare-free reduction the 128-bit lexicographic item lanes
+    /// can't match, with no key-extraction shuffles at all — then a
+    /// three-round broadcast-reduce and an equality re-scan recover
+    /// the index via compare mask. A duplicated minimum *key* (values
+    /// must break the tie) falls back to the scalar item scan; with
+    /// the queue's unique-ish head keys that path is cold, and
+    /// correctness never depends on it being rare.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn argmin_keys_avx512(keys: &[u64], items: &[Item]) -> usize {
+        let n = keys.len();
+        debug_assert!(n >= 2 && n == items.len());
+        let p = keys.as_ptr() as *const i64;
+        let sent = _mm512_set1_epi64(-1);
+        let mut m = sent;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            m = _mm512_min_epu64(m, _mm512_loadu_epi64(p.add(i)));
+            i += 8;
+        }
+        if i < n {
+            // Fault-suppressing masked tail load, sentinel-filled so
+            // the dead lanes never win the min.
+            let k = ((1u16 << (n - i)) - 1) as u8;
+            m = _mm512_min_epu64(m, _mm512_mask_loadu_epi64(sent, k, p.add(i)));
+        }
+        // Broadcast-reduce: after three swap+min rounds every lane
+        // holds the global minimum key.
+        m = _mm512_min_epu64(m, _mm512_shuffle_i64x2::<0x4E>(m, m));
+        m = _mm512_min_epu64(m, _mm512_shuffle_i64x2::<0xB1>(m, m));
+        m = _mm512_min_epu64(m, _mm512_permutex_epi64::<0xB1>(m));
+        // Re-scan: first index whose key equals the minimum, counting
+        // matches so a duplicated min key (tie on values) can bail to
+        // the scalar scan. The masked compare keeps fill lanes out of
+        // the equality, so a sentinel-valued minimum cannot match its
+        // own fill.
+        let mut first = usize::MAX;
+        let mut cnt = 0u32;
+        let mut i = 0usize;
+        while i < n {
+            let k = ((1u16 << (n - i).min(8)) - 1) as u8;
+            let v = _mm512_mask_loadu_epi64(sent, k, p.add(i));
+            let eq = _mm512_mask_cmpeq_epi64_mask(k, v, m);
+            cnt += eq.count_ones();
+            if first == usize::MAX && eq != 0 {
+                first = i + eq.trailing_zeros() as usize;
+            }
+            i += 8;
+        }
+        if cnt == 1 {
+            first
+        } else {
+            super::kernels::argmin(items)
+        }
+    }
+
+    /// Load one chunk (8 items, two zmm) reversed.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn load_rev8_avx512(p: *const i64) -> (__m512i, __m512i) {
+        let v0 = _mm512_loadu_epi64(p); // items 0..4
+        let v1 = _mm512_loadu_epi64(p.add(8)); // items 4..8
+        (
+            _mm512_shuffle_i64x2::<0x1B>(v1, v1), // 7,6,5,4
+            _mm512_shuffle_i64x2::<0x1B>(v0, v0), // 3,2,1,0
+        )
+    }
+
+    /// Reverse the four 128-bit item lanes of one zmm.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn rev4_avx512(v: __m512i) -> __m512i {
+        _mm512_shuffle_i64x2::<0x1B>(v, v)
+    }
+
+    /// Load `cnt` (0..=4) items from `p`, sentinel-filling the rest
+    /// (masked lanes neither fault nor load).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn load_sent_avx512(p: *const i64, cnt: usize) -> __m512i {
+        let k: __mmask8 = ((1u16 << (2 * cnt)) - 1) as u8;
+        _mm512_mask_loadu_epi64(_mm512_set1_epi64(-1), k, p)
+    }
+
+    /// Store the low `cnt` (0..=4) items of `v` at `p`.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn store_cnt_avx512(p: *mut i64, v: __m512i, cnt: usize) {
+        let k: __mmask8 = ((1u16 << (2 * cnt)) - 1) as u8;
+        _mm512_mask_storeu_epi64(p, k, v);
+    }
+
+    /// In-register merge of two sorted runs with `a.len() + b.len() <=
+    /// 16`: one bitonic lane image (`a` ascending from lane 0, `b`
+    /// reversed down from the top lane, all-ones sentinel plateau
+    /// between — disjoint occupied lanes, so an AND combines them),
+    /// one bitonic merge network, masked stores of exactly `total`
+    /// items at `po`. No loop, no branch past the size-class pick.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn merge_small_avx512(a: &[Item], b: &[Item], po: *mut Item) {
+        let (la, lb) = (a.len(), b.len());
+        let total = la + lb;
+        debug_assert!(total <= 16);
+        let pa = a.as_ptr() as *const i64;
+        let pb = b.as_ptr() as *const i64;
+        let po = po as *mut i64;
+        if total <= 4 {
+            let v = _mm512_and_si512(
+                load_sent_avx512(pa, la),
+                rev4_avx512(load_sent_avx512(pb, lb)),
+            );
+            let v = cex_d2_avx512(v);
+            let v = cex_d1_avx512(v);
+            store_cnt_avx512(po, v, total);
+        } else if total <= 8 {
+            let mut r0 = _mm512_and_si512(
+                load_sent_avx512(pa, la.min(4)),
+                rev4_avx512(load_sent_avx512(pb.wrapping_add(8), lb.saturating_sub(4))),
+            );
+            let mut r1 = _mm512_and_si512(
+                load_sent_avx512(pa.wrapping_add(8), la.saturating_sub(4)),
+                rev4_avx512(load_sent_avx512(pb, lb.min(4))),
+            );
+            (r0, r1) = cex_items_avx512(r0, r1);
+            r0 = cex_d2_avx512(r0);
+            r1 = cex_d2_avx512(r1);
+            r0 = cex_d1_avx512(r0);
+            r1 = cex_d1_avx512(r1);
+            store_cnt_avx512(po, r0, 4);
+            store_cnt_avx512(po.wrapping_add(8), r1, total - 4);
+        } else {
+            let mut r0 = _mm512_and_si512(
+                load_sent_avx512(pa, la.min(4)),
+                rev4_avx512(load_sent_avx512(pb.wrapping_add(24), lb.saturating_sub(12))),
+            );
+            let mut r1 = _mm512_and_si512(
+                load_sent_avx512(pa.wrapping_add(8), la.saturating_sub(4).min(4)),
+                rev4_avx512(load_sent_avx512(
+                    pb.wrapping_add(16),
+                    lb.saturating_sub(8).min(4),
+                )),
+            );
+            let mut r2 = _mm512_and_si512(
+                load_sent_avx512(pa.wrapping_add(16), la.saturating_sub(8).min(4)),
+                rev4_avx512(load_sent_avx512(
+                    pb.wrapping_add(8),
+                    lb.saturating_sub(4).min(4),
+                )),
+            );
+            let mut r3 = _mm512_and_si512(
+                load_sent_avx512(pa.wrapping_add(24), la.saturating_sub(12)),
+                rev4_avx512(load_sent_avx512(pb, lb.min(4))),
+            );
+            // 16-lane bitonic merge: distances 8 and 4 vertical, 2 and
+            // 1 in-register.
+            (r0, r2) = cex_items_avx512(r0, r2);
+            (r1, r3) = cex_items_avx512(r1, r3);
+            (r0, r1) = cex_items_avx512(r0, r1);
+            (r2, r3) = cex_items_avx512(r2, r3);
+            r0 = cex_d2_avx512(r0);
+            r1 = cex_d2_avx512(r1);
+            r2 = cex_d2_avx512(r2);
+            r3 = cex_d2_avx512(r3);
+            r0 = cex_d1_avx512(r0);
+            r1 = cex_d1_avx512(r1);
+            r2 = cex_d1_avx512(r2);
+            r3 = cex_d1_avx512(r3);
+            store_cnt_avx512(po, r0, 4);
+            store_cnt_avx512(po.wrapping_add(8), r1, 4);
+            store_cnt_avx512(po.wrapping_add(16), r2, (total - 8).min(4));
+            store_cnt_avx512(po.wrapping_add(24), r3, total.saturating_sub(12));
+        }
+    }
+
+    /// Streaming single-chain register merge of one segment, AVX-512
+    /// tier (chunk = 8 items over two zmm; a 16-lane bitonic network
+    /// per round): exactly `a.len() + b.len()` items written at `po`.
+    /// Both sides must hold at least one chunk.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn merge_segment_avx512(a: &[Item], b: &[Item], po: *mut Item) {
+        const W: usize = 8;
+        debug_assert!(a.len() >= W && b.len() >= W);
+        let pa = a.as_ptr() as *const i64;
+        let pb = b.as_ptr() as *const i64;
+        let mut po = po as *mut i64;
+        let mut c0 = _mm512_loadu_epi64(pa);
+        let mut c1 = _mm512_loadu_epi64(pa.add(8));
+        let (mut h0, mut h1) = load_rev8_avx512(pb);
+        let (mut ia, mut ib) = (W, W);
+        loop {
+            (c0, h0) = cex_items_avx512(c0, h0);
+            (c1, h1) = cex_items_avx512(c1, h1);
+            (c0, c1) = cex_items_avx512(c0, c1);
+            (h0, h1) = cex_items_avx512(h0, h1);
+            c0 = cex_d2_avx512(c0);
+            c1 = cex_d2_avx512(c1);
+            h0 = cex_d2_avx512(h0);
+            h1 = cex_d2_avx512(h1);
+            c0 = cex_d1_avx512(c0);
+            c1 = cex_d1_avx512(c1);
+            h0 = cex_d1_avx512(h0);
+            h1 = cex_d1_avx512(h1);
+            _mm512_storeu_epi64(po, c0);
+            _mm512_storeu_epi64(po.add(8), c1);
+            po = po.add(16);
+            if ia + W > a.len() || ib + W > b.len() {
+                break;
+            }
+            (c0, c1) = (h0, h1);
+            let take_a = *a.get_unchecked(ia) <= *b.get_unchecked(ib);
+            let src = if take_a { pa.add(2 * ia) } else { pb.add(2 * ib) };
+            (h0, h1) = load_rev8_avx512(src);
+            ia += W * take_a as usize;
+            ib += W * !take_a as usize;
+        }
+        let mut carry = [SENTINEL; W];
+        let pc = carry.as_mut_ptr() as *mut i64;
+        _mm512_storeu_epi64(pc, h0);
+        _mm512_storeu_epi64(pc.add(8), h1);
+        finish_tail(&carry, a, ia, b, ib, po as *mut Item);
+    }
+
+    /// Two merge-path segments run as *interleaved* register chains:
+    /// segment 0 merges `a0`/`b0` into `po0`, segment 1 merges
+    /// `a1`/`b1` into `po1`, alternating rounds so the two bitonic
+    /// networks' dependency chains overlap (one chain alone is
+    /// latency-bound: its carry feeds the next round through the full
+    /// network depth). A segment whose shorter side can't fill a chunk
+    /// falls back to the scalar cursor merge — the merge-path split
+    /// lands near the middle of both inputs unless one run dominates,
+    /// so that's the rare case.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn merge_segment_pair_avx512(
+        a0: &[Item],
+        b0: &[Item],
+        po0: *mut Item,
+        a1: &[Item],
+        b1: &[Item],
+        po1: *mut Item,
+    ) {
+        const W: usize = 8;
+        let reg0 = a0.len() >= W && b0.len() >= W;
+        let reg1 = a1.len() >= W && b1.len() >= W;
+        if !reg0 {
+            scalar_merge_ptr(a0, b0, po0);
+            if reg1 {
+                merge_segment_avx512(a1, b1, po1);
+            } else {
+                scalar_merge_ptr(a1, b1, po1);
+            }
+            return;
+        }
+        if !reg1 {
+            scalar_merge_ptr(a1, b1, po1);
+            merge_segment_avx512(a0, b0, po0);
+            return;
+        }
+        let pa0 = a0.as_ptr() as *const i64;
+        let pb0 = b0.as_ptr() as *const i64;
+        let pa1 = a1.as_ptr() as *const i64;
+        let pb1 = b1.as_ptr() as *const i64;
+        let mut po0 = po0 as *mut i64;
+        let mut po1 = po1 as *mut i64;
+        macro_rules! init {
+            ($c0:ident, $c1:ident, $h0:ident, $h1:ident, $ia:ident, $ib:ident, $pa:ident, $pb:ident) => {
+                let mut $c0 = _mm512_loadu_epi64($pa);
+                let mut $c1 = _mm512_loadu_epi64($pa.add(8));
+                let (mut $h0, mut $h1) = load_rev8_avx512($pb);
+                let (mut $ia, mut $ib) = (W, W);
+            };
+        }
+        macro_rules! round {
+            ($c0:ident, $c1:ident, $h0:ident, $h1:ident, $ia:ident, $ib:ident, $po:ident,
+             $a:ident, $b:ident, $pa:ident, $pb:ident, $act:ident) => {
+                ($c0, $h0) = cex_items_avx512($c0, $h0);
+                ($c1, $h1) = cex_items_avx512($c1, $h1);
+                ($c0, $c1) = cex_items_avx512($c0, $c1);
+                ($h0, $h1) = cex_items_avx512($h0, $h1);
+                $c0 = cex_d2_avx512($c0);
+                $c1 = cex_d2_avx512($c1);
+                $h0 = cex_d2_avx512($h0);
+                $h1 = cex_d2_avx512($h1);
+                $c0 = cex_d1_avx512($c0);
+                $c1 = cex_d1_avx512($c1);
+                $h0 = cex_d1_avx512($h0);
+                $h1 = cex_d1_avx512($h1);
+                _mm512_storeu_epi64($po, $c0);
+                _mm512_storeu_epi64($po.add(8), $c1);
+                $po = $po.add(16);
+                if $ia + W > $a.len() || $ib + W > $b.len() {
+                    $act = false;
+                } else {
+                    ($c0, $c1) = ($h0, $h1);
+                    let take_a = *$a.get_unchecked($ia) <= *$b.get_unchecked($ib);
+                    let src = if take_a { $pa.add(2 * $ia) } else { $pb.add(2 * $ib) };
+                    ($h0, $h1) = load_rev8_avx512(src);
+                    $ia += W * take_a as usize;
+                    $ib += W * !take_a as usize;
+                }
+            };
+        }
+        macro_rules! finish {
+            ($h0:ident, $h1:ident, $ia:ident, $ib:ident, $po:ident, $a:ident, $b:ident) => {
+                let mut carry = [SENTINEL; W];
+                let pc = carry.as_mut_ptr() as *mut i64;
+                _mm512_storeu_epi64(pc, $h0);
+                _mm512_storeu_epi64(pc.add(8), $h1);
+                finish_tail(&carry, $a, $ia, $b, $ib, $po as *mut Item);
+            };
+        }
+        init!(c00, c01, h00, h01, ia0, ib0, pa0, pb0);
+        init!(c10, c11, h10, h11, ia1, ib1, pa1, pb1);
+        let (mut act0, mut act1) = (true, true);
+        while act0 && act1 {
+            round!(c00, c01, h00, h01, ia0, ib0, po0, a0, b0, pa0, pb0, act0);
+            round!(c10, c11, h10, h11, ia1, ib1, po1, a1, b1, pa1, pb1, act1);
+        }
+        while act0 {
+            round!(c00, c01, h00, h01, ia0, ib0, po0, a0, b0, pa0, pb0, act0);
+        }
+        while act1 {
+            round!(c10, c11, h10, h11, ia1, ib1, po1, a1, b1, pa1, pb1, act1);
+        }
+        finish!(h00, h01, ia0, ib0, po0, a0, b0);
+        finish!(h10, h11, ia1, ib1, po1, a1, b1);
+    }
+
+    /// Vertical compare-exchange span over packed lanes, 4 per step.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    pub(super) unsafe fn cex_span_avx512(buf: *mut Lane, i: usize, j: usize, n: usize) {
+        let p = buf as *mut i64;
+        let mut t = 0usize;
+        while t + 4 <= n {
+            let x = _mm512_loadu_epi64(p.add(2 * (i + t)));
+            let y = _mm512_loadu_epi64(p.add(2 * (j + t)));
+            let lt = lt_packed_mask_avx512(x, y);
+            _mm512_storeu_epi64(p.add(2 * (i + t)), _mm512_mask_blend_epi64(lt, y, x));
+            _mm512_storeu_epi64(p.add(2 * (j + t)), _mm512_mask_blend_epi64(lt, x, y));
+            t += 4;
+        }
+        while t < n {
+            let (x, y) = (*buf.add(i + t), *buf.add(j + t));
+            *buf.add(i + t) = x.min(y);
+            *buf.add(j + t) = x.max(y);
+            t += 1;
+        }
+    }
+
+    /// Vertical compare-exchange span over packed lanes, 2 per step.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cex_span_avx2(buf: *mut Lane, i: usize, j: usize, n: usize) {
+        let p = buf as *mut __m256i;
+        let mut t = 0usize;
+        while t + 2 <= n {
+            let x = _mm256_loadu_si256(p.byte_add(16 * (i + t)).cast());
+            let y = _mm256_loadu_si256(p.byte_add(16 * (j + t)).cast());
+            let lt = lt_packed_avx2(x, y);
+            _mm256_storeu_si256(
+                p.byte_add(16 * (i + t)).cast(),
+                _mm256_blendv_epi8(y, x, lt),
+            );
+            _mm256_storeu_si256(
+                p.byte_add(16 * (j + t)).cast(),
+                _mm256_blendv_epi8(x, y, lt),
+            );
+            t += 2;
+        }
+        while t < n {
+            let (x, y) = (*buf.add(i + t), *buf.add(j + t));
+            *buf.add(i + t) = x.min(y);
+            *buf.add(j + t) = x.max(y);
+            t += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_and_names_roundtrip() {
+        assert!(KernelTier::Scalar < KernelTier::Avx2);
+        assert!(KernelTier::Avx2 < KernelTier::Avx512);
+        for t in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512] {
+            assert_eq!(KernelTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(KernelTier::parse("avx1024"), None);
+    }
+
+    #[test]
+    fn available_tiers_start_at_scalar() {
+        let tiers = KernelTier::available_tiers();
+        assert_eq!(tiers.first(), Some(&KernelTier::Scalar));
+        // Monotone: everything below the detected tier is available.
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(tiers.last(), Some(&KernelTier::detect_hw()));
+    }
+
+    #[test]
+    fn active_tier_is_hardware_clamped() {
+        assert!(active_tier() <= KernelTier::detect_hw());
+    }
+
+    /// Deterministic keys with heavy ties: a small key universe plus
+    /// runs of sentinel-valued items, the adversarial shapes for the
+    /// vector compare paths (equal primary keys force the secondary
+    /// lane compare; sentinel plateaus hit the masked-tail fills).
+    fn adversarial_run(len: usize, rng: &mut u64, universe: u64, sentinels: bool) -> Vec<Item> {
+        let mut v: Vec<Item> = (0..len)
+            .map(|i| {
+                *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = *rng >> 33;
+                if sentinels && r.is_multiple_of(3) {
+                    Item::new(u64::MAX, u64::MAX)
+                } else {
+                    Item::new(r % universe, i as u64)
+                }
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn simd_merge_matches_scalar_all_shapes() {
+        let mut rng = 0xDEADBEEFu64;
+        for tier in KernelTier::available_tiers() {
+            if tier == KernelTier::Scalar {
+                continue;
+            }
+            let w = tier.merge_chunk();
+            // Every viable (la, lb): the whole in-register small-merge
+            // triangle (including empty and lopsided sides), plus
+            // streaming lengths straddling every chunk-alignment class
+            // and both sides of the two-chain CHAINS_MIN cutoff.
+            let cap = tier.small_merge_cap();
+            let mut shapes: Vec<(usize, usize)> = Vec::new();
+            for la in 0..=cap {
+                for lb in 0..=(cap - la) {
+                    shapes.push((la, lb));
+                }
+            }
+            for la in [w, w + 1, 2 * w - 1, 2 * w, 5 * w + 3, CHAINS_MIN - w, 64, 100] {
+                for lb in [w, w + 2, 3 * w - 1, 41, CHAINS_MIN, 128] {
+                    shapes.push((la, lb));
+                }
+            }
+            for (la, lb) in shapes {
+                for sentinels in [false, true] {
+                    let a = adversarial_run(la, &mut rng, 8, sentinels);
+                    let b = adversarial_run(lb, &mut rng, 8, sentinels);
+                    assert!(tier.merge_viable(a.len(), b.len()), "shape list is viable");
+                    let mut got = Vec::new();
+                    merge_simd_append(tier, &a, &b, &mut got);
+                    let mut expect = Vec::new();
+                    kernels::scalar_merge_append(&a, &b, &mut expect);
+                    assert_eq!(
+                        got,
+                        expect,
+                        "tier {} la={la} lb={lb} sentinels={sentinels}",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_path_split_is_valid_at_every_k() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut rng = 42u64;
+            for (la, lb) in [(0, 10), (10, 0), (7, 13), (32, 32), (64, 3)] {
+                let a = adversarial_run(la, &mut rng, 5, true);
+                let b = adversarial_run(lb, &mut rng, 5, true);
+                let mut expect = Vec::new();
+                kernels::scalar_merge_append(&a, &b, &mut expect);
+                for k in 0..=(la + lb) {
+                    let (i, j) = merge_path_split(&a, &b, k);
+                    // The two halves re-merge to the stable result.
+                    let mut got = Vec::new();
+                    kernels::scalar_merge_append(&a[..i], &b[..j], &mut got);
+                    kernels::scalar_merge_append(&a[i..], &b[j..], &mut got);
+                    assert_eq!(got, expect, "la={la} lb={lb} k={k}");
+                }
+            }
+        }
+    }
+
+    /// Keys-only twin of an item slice, as `Lsm` maintains alongside
+    /// its head mirror.
+    fn keys_of(v: &[Item]) -> Vec<u64> {
+        v.iter().map(|it| it.key).collect()
+    }
+
+    #[test]
+    fn simd_argmin_matches_scalar_incl_sentinel_min() {
+        for tier in KernelTier::available_tiers() {
+            // All-sentinel input: the masked-tail fill value equals the
+            // true minimum, so the equality re-scan must not index a
+            // fill lane past the end. `argmin_forced` bypasses the
+            // SIMD_ARGMIN_MIN length gate so the vector kernels are
+            // exercised at realistic `heads` lengths.
+            for n in 1..40 {
+                let v = vec![Item::new(u64::MAX, u64::MAX); n];
+                let k = keys_of(&v);
+                assert_eq!(
+                    argmin_forced(tier, &k, &v),
+                    0,
+                    "all-sentinel n={n} tier {}",
+                    tier.name()
+                );
+                assert_eq!(argmin(tier, &k, &v), 0);
+            }
+            // Minimum at every position, with ties after it.
+            for n in [6usize, 7, 8, 9, 13, 16, 31, 130] {
+                for min_at in 0..n {
+                    let mut v: Vec<Item> = (0..n).map(|i| Item::new(10 + i as u64, 0)).collect();
+                    v[min_at] = Item::new(1, 0);
+                    if min_at + 2 < n {
+                        v[min_at + 2] = Item::new(1, 0); // tie, later index
+                    }
+                    let k = keys_of(&v);
+                    assert_eq!(
+                        argmin_forced(tier, &k, &v),
+                        min_at,
+                        "n={n} min_at={min_at} tier {}",
+                        tier.name()
+                    );
+                    assert_eq!(argmin(tier, &k, &v), min_at);
+                }
+            }
+            // Duplicated minimum key whose *later* occurrence has the
+            // smaller value: the key-level re-scan cannot decide this,
+            // so the lexicographic fallback must.
+            for n in [8usize, 13, 16] {
+                let mut v: Vec<Item> = (0..n).map(|i| Item::new(10 + i as u64, 0)).collect();
+                v[1] = Item::new(1, 9);
+                v[n - 1] = Item::new(1, 5);
+                let k = keys_of(&v);
+                assert_eq!(argmin_forced(tier, &k, &v), n - 1, "tier {}", tier.name());
+                assert_eq!(argmin(tier, &k, &v), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cex_span_orders_pairs_and_matches_scalar() {
+        let mut rng = 77u64;
+        for tier in KernelTier::available_tiers() {
+            for n in 1..=9usize {
+                for gap in [0usize, 1, 3] {
+                    let len = 2 * n + gap;
+                    let mut buf: Vec<Lane> = (0..len)
+                        .map(|_| {
+                            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(99);
+                            (rng as Lane) << 64 | (rng >> 7) as Lane
+                        })
+                        .collect();
+                    let mut expect = buf.clone();
+                    for t in 0..n {
+                        let (x, y) = (expect[t], expect[n + gap + t]);
+                        expect[t] = x.min(y);
+                        expect[n + gap + t] = x.max(y);
+                    }
+                    cex_span(tier, &mut buf, 0, n + gap, n);
+                    assert_eq!(buf, expect, "tier {} n={n} gap={gap}", tier.name());
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The vector chunked merge is byte-for-byte equivalent to the
+        /// scalar cursor merge at every available SIMD tier, on runs
+        /// with duplicate keys (distinct values witness tie handling)
+        /// and non-multiple-of-lane-width lengths.
+        #[test]
+        fn prop_simd_merge_matches_scalar(
+            a in proptest::collection::vec(0u64..40, 0..120),
+            b in proptest::collection::vec(0u64..40, 0..120),
+        ) {
+            let mut a: Vec<Item> = a.iter().map(|&k| Item::new(k, 0)).collect();
+            let mut b: Vec<Item> = b.iter().map(|&k| Item::new(k, 1)).collect();
+            a.sort();
+            b.sort();
+            let mut expect = Vec::new();
+            kernels::scalar_merge_append(&a, &b, &mut expect);
+            for tier in KernelTier::available_tiers() {
+                if !tier.merge_viable(a.len(), b.len()) {
+                    continue;
+                }
+                let mut got = Vec::new();
+                merge_simd_append(tier, &a, &b, &mut got);
+                proptest::prop_assert_eq!(&got, &expect);
+            }
+        }
+
+        /// The wide argmin agrees with the reference scan (first
+        /// occurrence on ties) at every available tier.
+        #[test]
+        fn prop_simd_argmin_matches_scan(
+            keys in proptest::collection::vec(0u64..6, 1..70)
+        ) {
+            // Tie-heavy keys with per-index values: duplicated minimum
+            // keys force the lexicographic fallback, and the reference
+            // is the full (key, value) order.
+            let v: Vec<Item> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Item::new(k, (i % 3) as u64))
+                .collect();
+            let k = keys_of(&v);
+            let expect = v
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, it)| it)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            for tier in KernelTier::available_tiers() {
+                proptest::prop_assert_eq!(argmin_forced(tier, &k, &v), expect);
+                proptest::prop_assert_eq!(argmin(tier, &k, &v), expect);
+            }
+        }
+
+        /// Whole-queue differential: an LSM at any forced tier behaves
+        /// identically to the simd-off (scalar-tier) LSM under
+        /// arbitrary op sequences, including mid-sequence drains.
+        #[test]
+        fn prop_forced_tiers_match_simd_off(
+            ops in proptest::collection::vec((0u8..4, 0u64..300), 0..250)
+        ) {
+            use pq_traits::SequentialPq;
+            let mut queues: Vec<crate::Lsm> = KernelTier::available_tiers()
+                .into_iter()
+                .map(crate::Lsm::with_tier)
+                .collect();
+            for (i, &(op, k)) in ops.iter().enumerate() {
+                match op {
+                    0 | 1 => {
+                        for q in queues.iter_mut() {
+                            q.insert(k, i as u64);
+                        }
+                    }
+                    2 => {
+                        let expect = queues[0].delete_min();
+                        for q in queues.iter_mut().skip(1) {
+                            proptest::prop_assert_eq!(q.delete_min(), expect);
+                        }
+                    }
+                    _ => {
+                        let expect = queues[0].take_all_sorted();
+                        for q in queues.iter_mut().skip(1) {
+                            proptest::prop_assert_eq!(q.take_all_sorted(), expect.clone());
+                        }
+                    }
+                }
+                for q in queues.iter() {
+                    proptest::prop_assert!(q.check_invariants());
+                }
+            }
+        }
+    }
+}

@@ -93,6 +93,16 @@ pub enum Event {
     /// LSM kernels: a drain ran through the tier-3 k-way loser tree
     /// (one `take_all_sorted` pass over ≥ 2 blocks).
     LsmKernelLoserTreePass,
+    /// LSM SIMD kernels: a block merge ran through the vector chunked
+    /// merge (`lsm::simd::merge_simd_append`, AVX2 or AVX-512 tier).
+    LsmKernelSimdMergeHit,
+    /// LSM SIMD kernels: a `delete_min` head scan ran through the wide
+    /// vector argmin instead of the scalar conditional-move scan.
+    LsmKernelSimdArgminHit,
+    /// LSM SIMD kernels: a sorting/merge network ran its
+    /// compare-exchange schedule through vector spans (one count per
+    /// network invocation at a SIMD tier, not per span).
+    LsmKernelSimdCexHit,
     /// Flat combining: a thread won the combiner lock (`try_lock`
     /// succeeded) and entered a combining critical section.
     FcLockAcquire,
@@ -106,7 +116,7 @@ pub enum Event {
 
 impl Event {
     /// Every event, in stable export order.
-    pub const ALL: [Event; 20] = [
+    pub const ALL: [Event; 23] = [
         Event::SkiplistFindRestart,
         Event::SkiplistCasRetry,
         Event::DlsmSpyAttempt,
@@ -124,6 +134,9 @@ impl Event {
         Event::LsmKernelBitonicHit,
         Event::LsmKernelBidiHit,
         Event::LsmKernelLoserTreePass,
+        Event::LsmKernelSimdMergeHit,
+        Event::LsmKernelSimdArgminHit,
+        Event::LsmKernelSimdCexHit,
         Event::FcLockAcquire,
         Event::FcCombineRound,
         Event::FcOpsCombined,
@@ -152,6 +165,9 @@ impl Event {
             Event::LsmKernelBitonicHit => "lsm_kernel_bitonic_hits",
             Event::LsmKernelBidiHit => "lsm_kernel_bidi_hits",
             Event::LsmKernelLoserTreePass => "lsm_kernel_losertree_passes",
+            Event::LsmKernelSimdMergeHit => "lsm_kernel_simd_merge_hits",
+            Event::LsmKernelSimdArgminHit => "lsm_kernel_simd_argmin_hits",
+            Event::LsmKernelSimdCexHit => "lsm_kernel_simd_cex_hits",
             Event::FcLockAcquire => "fc_lock_acquires",
             Event::FcCombineRound => "fc_combine_rounds",
             Event::FcOpsCombined => "fc_ops_combined",

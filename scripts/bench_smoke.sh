@@ -11,16 +11,19 @@
 #     that reintroduce false sharing; a second invocation built with
 #     --features trace additionally gates an actively-recording flight
 #     recorder at TRACE_MAX_OVERHEAD_PCT (default 5) percent;
-#   * figures --metrics — produces metrics_smoke.json, the structured
-#     per-cell export (counters, time-sliced throughput, latency
-#     histograms) that CI uploads as an artifact;
-#   * figures --trace — produces trace_smoke.json, a Chrome-trace-event
-#     flight-recorder export (one track per thread, loadable in
-#     Perfetto) that CI also uploads as an artifact.
+#   * figures --metrics — produces artifacts/metrics_smoke.json, the
+#     structured per-cell export (counters, time-sliced throughput,
+#     latency histograms) that CI uploads as an artifact;
+#   * figures --trace — produces artifacts/trace_smoke.json, a
+#     Chrome-trace-event flight-recorder export (one track per thread,
+#     loadable in Perfetto) that CI also uploads as an artifact.
 #
 # Usage: scripts/bench_smoke.sh [THREADS] [DURATION_MS]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# Scratch outputs (smoke exports that are not recorded baselines) land
+# under the gitignored artifacts/ directory.
+mkdir -p artifacts
 
 THREADS="${1:-4}"
 DURATION_MS="${2:-1000}"
@@ -36,6 +39,16 @@ LSM_KERNEL_MIN_SPEEDUP="${LSM_KERNEL_MIN_SPEEDUP:-1.0}"
 # PR 4 pooled baseline). Acceptance target on quiet hardware is 1.15;
 # default 1.0 so noisy shared runners only fail on a real regression.
 KERNEL_TIER_MIN_SPEEDUP="${KERNEL_TIER_MIN_SPEEDUP:-1.0}"
+# Floor for the SIMD dispatch gate: geomean (steady × sawtooth) of the
+# pool-on arm (detected kernel tier) over the simd-off arm (scalar tier
+# pinned, the frozen PR 5 dispatch). On the measured host the
+# whole-queue A/B kept every production path scalar — merges are
+# port-5-bound and the wide argmin loses on delete_min's serial
+# critical path (EXPERIMENTS.md "SIMD kernel ablation") — so this is a
+# *parity* gate, not a win gate: it catches a tier whose dispatch
+# regresses the queue, while the SIMD kernels themselves stay as
+# forced-tier ablation arms. Default 0.90 absorbs shared-runner noise.
+SIMD_TIER_MIN_SPEEDUP="${SIMD_TIER_MIN_SPEEDUP:-0.90}"
 # Floor for the flat-combining A/B gate: geomean of the per-round
 # fc-vs-plain throughput ratios across both pairs (fc-globallock vs
 # globallock, fc-mound vs mound). The fc-mound pair carries the win —
@@ -51,20 +64,23 @@ cargo run -p pq-bench --release --offline --bin mq_smoke -- \
     --duration-ms "$DURATION_MS" \
     --out BENCH_multiqueue.json
 
-echo "== LSM kernel ablation (legacy/pool-off/kernels-off/pool-on, gates ${LSM_KERNEL_MIN_SPEEDUP}x legacy, ${KERNEL_TIER_MIN_SPEEDUP}x kernels-off) =="
-# Sequential 4-arm A/B of the allocation-free merge kernels and the
-# branch-free kernel tiers plus a concurrent dlsm/klsm sanity sweep;
-# writes BENCH_lsm_kernels.json (see crates/bench/src/bin/lsm_kernels.rs
-# and EXPERIMENTS.md "Branch-free kernel ablation"). Exits non-zero if
-# the pool-on geomean speedup over the legacy kernels falls below
-# LSM_KERNEL_MIN_SPEEDUP, or its speedup over the kernels-off arm (the
-# frozen PR 4 pooled baseline) falls below KERNEL_TIER_MIN_SPEEDUP.
+echo "== LSM kernel ablation (legacy/pool-off/kernels-off/simd-off/pool-on, gates ${LSM_KERNEL_MIN_SPEEDUP}x legacy, ${KERNEL_TIER_MIN_SPEEDUP}x kernels-off, ${SIMD_TIER_MIN_SPEEDUP}x simd-off) =="
+# Sequential 5-arm A/B of the allocation-free merge kernels, the
+# branch-free kernel tiers, and the SIMD dispatch, plus a concurrent
+# dlsm/klsm sanity sweep; writes BENCH_simd_kernels.json (see
+# crates/bench/src/bin/lsm_kernels.rs and EXPERIMENTS.md "SIMD kernel
+# ablation"). Exits non-zero if the pool-on geomean speedup over the
+# legacy kernels falls below LSM_KERNEL_MIN_SPEEDUP, its speedup over
+# the kernels-off arm (the frozen PR 4 pooled baseline) falls below
+# KERNEL_TIER_MIN_SPEEDUP, or its speedup over the simd-off arm (the
+# scalar-tier PR 5 dispatch) falls below SIMD_TIER_MIN_SPEEDUP.
 cargo run -p pq-bench --release --offline --bin lsm_kernels -- \
     --threads "$THREADS" \
     --duration-ms "$DURATION_MS" \
     --min-speedup "$LSM_KERNEL_MIN_SPEEDUP" \
     --min-kernel-speedup "$KERNEL_TIER_MIN_SPEEDUP" \
-    --out BENCH_lsm_kernels.json
+    --min-simd-speedup "$SIMD_TIER_MIN_SPEEDUP" \
+    --out BENCH_simd_kernels.json
 
 echo "== flat-combining A/B + batch ablation (gates ${FC_MIN_SPEEDUP}x plain locked) =="
 # Interleaved A/B of each flat-combining queue against its plain locked
@@ -117,14 +133,14 @@ cargo run -p pq-bench --release --offline --features telemetry --bin figures -- 
     --prefill 20000 \
     --duration-ms 250 \
     --reps 2 \
-    --metrics metrics_smoke.json >/dev/null
+    --metrics artifacts/metrics_smoke.json >/dev/null
 
 echo "== flight-recorder export smoke (trace on) =="
 # One short traced cell per queue at THREADS threads; writes
-# trace_smoke.json, a Chrome-trace-event file loadable in Perfetto with
-# one track per worker thread (EXPERIMENTS.md "Flight-recorder
-# tracing"). Dropped-record counts are printed by the binary and
-# embedded in the export, so truncation is never silent.
+# artifacts/trace_smoke.json, a Chrome-trace-event file loadable in
+# Perfetto with one track per worker thread (EXPERIMENTS.md
+# "Flight-recorder tracing"). Dropped-record counts are printed by the
+# binary and embedded in the export, so truncation is never silent.
 cargo run -p pq-bench --release --offline --features trace --bin figures -- \
     --experiment fig4a \
     --queues multiqueue,klsm256 \
@@ -132,4 +148,4 @@ cargo run -p pq-bench --release --offline --features trace --bin figures -- \
     --prefill 20000 \
     --duration-ms 250 \
     --reps 1 \
-    --trace trace_smoke.json >/dev/null
+    --trace artifacts/trace_smoke.json >/dev/null
